@@ -1,0 +1,302 @@
+// Package camelot is the public face of this reproduction of the
+// Camelot distributed transaction facility, as studied in "Analysis
+// of Transaction Management Performance" (Duchamp, SOSP 1989).
+//
+// A Cluster connects Nodes (sites); each Node runs the four Camelot
+// processes — transaction manager, communication manager, disk
+// manager (the log), and recovery — plus any number of data servers.
+// Applications begin transactions at a node, operate on servers by
+// name anywhere in the cluster, and commit with either two-phase
+// commit (with or without the delayed-commit optimization) or the
+// non-blocking three-phase protocol:
+//
+//	cluster := camelot.NewCluster(rt.Real(), camelot.DefaultConfig())
+//	n1 := cluster.AddNode(1)
+//	n1.AddServer("bank")
+//	tx, _ := n1.Begin()
+//	tx.Write("bank", "alice", []byte("100"))
+//	err := tx.Commit()
+//
+// For deterministic experiments, pass a sim.Kernel instead of
+// rt.Real() and drive it with Run: all of the paper's latency and
+// throughput studies in this repository run that way.
+package camelot
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"camelot/internal/commman"
+	"camelot/internal/core"
+	"camelot/internal/diskman"
+	"camelot/internal/params"
+	"camelot/internal/rt"
+	"camelot/internal/server"
+	"camelot/internal/tid"
+	"camelot/internal/transport"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// Re-exported identifier types.
+type (
+	// SiteID names a site.
+	SiteID = tid.SiteID
+	// TID identifies a transaction.
+	TID = tid.TID
+)
+
+// Errors surfaced by the public API.
+var (
+	// ErrAborted reports that commit ended in abort.
+	ErrAborted = core.ErrAborted
+	// ErrCrashed reports an operation on a crashed node.
+	ErrCrashed = errors.New("camelot: node is crashed")
+)
+
+// Options selects the commitment protocol per transaction; see
+// core.Options for field meanings.
+type Options = core.Options
+
+// Config tunes a cluster.
+type Config struct {
+	// Params is the primitive cost model; params.Paper() reproduces
+	// the paper's testbed, params.Fast() is for functional tests.
+	Params params.Params
+	// Threads is the transaction-manager pool size per node.
+	Threads int
+	// GroupCommit enables log batching (§3.5).
+	GroupCommit bool
+	// LogFlushInterval bounds how long lazily written records stay
+	// volatile.
+	LogFlushInterval time.Duration
+	// LockTimeout bounds data-server lock waits.
+	LockTimeout time.Duration
+	// RetryInterval, InquireInterval, PromotionTimeout, and
+	// AckFlushInterval tune the transaction manager's timers.
+	RetryInterval    time.Duration
+	InquireInterval  time.Duration
+	PromotionTimeout time.Duration
+	AckFlushInterval time.Duration
+	// RPCTimeout bounds remote operation calls.
+	RPCTimeout time.Duration
+	// LossRate injects datagram loss for fault experiments.
+	LossRate float64
+}
+
+// DefaultConfig returns a cluster configuration with the paper's
+// latency model, group commit on, and five transaction-manager
+// threads per node.
+func DefaultConfig() Config {
+	return Config{
+		Params:           params.Paper(),
+		Threads:          5,
+		GroupCommit:      true,
+		LogFlushInterval: 100 * time.Millisecond,
+		LockTimeout:      2 * time.Second,
+		RetryInterval:    500 * time.Millisecond,
+		InquireInterval:  time.Second,
+		PromotionTimeout: time.Second,
+		AckFlushInterval: 200 * time.Millisecond,
+		RPCTimeout:       2 * time.Second,
+	}
+}
+
+// Cluster is a set of Camelot sites sharing a network and a name
+// service.
+type Cluster struct {
+	r     rt.Runtime
+	cfg   Config
+	net   *transport.Network
+	names *commman.Names
+	nodes map[SiteID]*Node
+}
+
+// NewRealtimeCluster creates a cluster on the ordinary Go runtime —
+// wall-clock time, real goroutines. Experiments use NewCluster with a
+// sim.Kernel instead, for deterministic virtual time.
+func NewRealtimeCluster(cfg Config) *Cluster {
+	return NewCluster(rt.Real(), cfg)
+}
+
+// NewCluster creates an empty cluster on the given runtime.
+func NewCluster(r rt.Runtime, cfg Config) *Cluster {
+	return &Cluster{
+		r:   r,
+		cfg: cfg,
+		net: transport.NewNetwork(r, transport.Config{
+			Latency:   cfg.Params.Datagram,
+			SendCycle: cfg.Params.SendCycle,
+			Jitter:    cfg.Params.Jitter,
+			LossRate:  cfg.LossRate,
+		}),
+		names: commman.NewNames(r),
+		nodes: make(map[SiteID]*Node),
+	}
+}
+
+// Network exposes the transport for fault injection in tests and
+// experiments.
+func (c *Cluster) Network() *transport.Network { return c.net }
+
+// AddNode creates and starts a site. IDs must be nonzero and unique.
+func (c *Cluster) AddNode(id SiteID) *Node {
+	if id == 0 {
+		panic("camelot: site id 0 is reserved")
+	}
+	if _, dup := c.nodes[id]; dup {
+		panic(fmt.Sprintf("camelot: duplicate site id %d", id))
+	}
+	n := &Node{cluster: c, id: id, store: wal.NewMemStore(), pages: diskman.NewPageStore()}
+	n.start(nil)
+	c.nodes[id] = n
+	return n
+}
+
+// Node returns the site with the given id, or nil.
+func (c *Cluster) Node(id SiteID) *Node {
+	return c.nodes[id]
+}
+
+// Node is one Camelot site.
+type Node struct {
+	cluster *Cluster
+	id      SiteID
+	store   *wal.MemStore
+	pages   *diskman.PageStore
+	kernel  *rt.CPU
+
+	log     *wal.Log
+	tm      *core.Manager
+	comm    *commman.Manager
+	servers map[string]*server.Server
+	crashed bool
+}
+
+// start builds the site's processes around the (persistent) store.
+// keepServers carries server names across a recovery.
+func (n *Node) start(keepServers []string) {
+	c := n.cluster
+	n.crashed = false
+	n.kernel = rt.NewCPU(c.r)
+	n.log = wal.Open(c.r, n.store, wal.Config{
+		GroupCommit:   c.cfg.GroupCommit,
+		ForceLatency:  c.cfg.Params.LogForce,
+		FlushInterval: c.cfg.LogFlushInterval,
+	})
+	n.tm = core.New(c.r, core.Config{
+		Site:             n.id,
+		Threads:          c.cfg.Threads,
+		Params:           c.cfg.Params,
+		Kernel:           n.kernel,
+		RetryInterval:    c.cfg.RetryInterval,
+		InquireInterval:  c.cfg.InquireInterval,
+		PromotionTimeout: c.cfg.PromotionTimeout,
+		AckFlushInterval: c.cfg.AckFlushInterval,
+	}, n.log, c.net)
+	n.comm = commman.New(c.r, n.id, c.net, c.names, n.tm, c.cfg.Params, n.kernel, c.cfg.RPCTimeout)
+	n.servers = make(map[string]*server.Server)
+	for _, name := range keepServers {
+		n.addServer(name)
+	}
+	c.net.Register(n.id, func(d transport.Datagram) {
+		switch p := d.Payload.(type) {
+		case *wire.Msg:
+			n.tm.Deliver(p)
+		case *commman.Request:
+			n.comm.HandleRequest(p)
+		case *commman.Response:
+			n.comm.HandleResponse(p)
+		}
+	})
+}
+
+// ID returns the node's site id.
+func (n *Node) ID() SiteID { return n.id }
+
+// TM exposes the transaction manager (for statistics).
+func (n *Node) TM() *core.Manager { return n.tm }
+
+// Log exposes the site log (for statistics).
+func (n *Node) Log() *wal.Log { return n.log }
+
+// Comm exposes the communication manager (for statistics and the RPC
+// breakdown experiment).
+func (n *Node) Comm() *commman.Manager { return n.comm }
+
+// AddServer creates a data server on this node, reachable cluster-wide
+// by name.
+func (n *Node) AddServer(name string) *server.Server {
+	return n.addServer(name)
+}
+
+func (n *Node) addServer(name string) *server.Server {
+	s := server.New(n.cluster.r, name, n.tm, n.log, server.Config{
+		LockTimeout: n.cluster.cfg.LockTimeout,
+		Params:      n.cluster.cfg.Params,
+		Kernel:      n.kernel,
+	})
+	n.servers[name] = s
+	n.comm.RegisterServer(s)
+	return s
+}
+
+// Server returns the named local server, or nil.
+func (n *Node) Server(name string) *server.Server { return n.servers[name] }
+
+// Begin starts a top-level transaction coordinated by this node
+// (Figure 1 step 2).
+func (n *Node) Begin() (*Tx, error) {
+	if n.crashed {
+		return nil, ErrCrashed
+	}
+	t, err := n.tm.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{node: n, id: t}, nil
+}
+
+// Crash stops the node abruptly: volatile state (buffered log
+// records, lock tables, in-memory data) is lost; the stable store
+// survives for Recover.
+func (n *Node) Crash() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.cluster.net.SetDown(n.id, true)
+	n.tm.Close()
+	n.log.Close()
+}
+
+// Recover restarts a crashed node: the recovery process replays the
+// log, reinstalls server state, re-acquires in-doubt locks, and
+// resumes unresolved commitments.
+func (n *Node) Recover() {
+	if !n.crashed {
+		return
+	}
+	names := make([]string, 0, len(n.servers))
+	for name := range n.servers {
+		names = append(names, name)
+	}
+	n.start(names)
+	n.cluster.net.SetDown(n.id, false)
+	recoverNode(n)
+}
+
+// Crashed reports whether the node is down.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// Checkpoint runs the disk manager's checkpoint: the durable log is
+// materialized into the page image and the absorbed prefix truncated,
+// bounding how much history the next recovery replays. It returns the
+// number of log records truncated.
+func (n *Node) Checkpoint() (int, error) {
+	if n.crashed {
+		return 0, ErrCrashed
+	}
+	return diskman.Checkpoint(n.id, n.log, n.pages)
+}

@@ -1,0 +1,83 @@
+package camelot
+
+import (
+	"camelot/internal/diskman"
+	"camelot/internal/server"
+	"camelot/internal/tid"
+)
+
+// recoverNode runs the recovery process against the node's freshly
+// reopened log: load the disk manager's page image, redo the
+// retained log tail's committed updates on top of it, reinstall
+// in-doubt updates under re-acquired locks, and resume unresolved
+// commitments.
+func recoverNode(n *Node) {
+	a, data, base, err := diskman.Recover(n.id, n.log, n.pages)
+	if err != nil {
+		return
+	}
+
+	// Never reuse a previous incarnation's family identifiers. The
+	// margin covers transactions that left no log records (read-only
+	// or never-forced) in the crashed incarnation.
+	n.tm.SetFamilyFloor(a.MaxLocalFamily + 1000)
+
+	// Restore the resolved-outcome memory — from the log tail and
+	// from outcomes absorbed into the page image — so status
+	// inquiries and presumed-abort inquiries for pre-crash
+	// transactions answer correctly.
+	var committed, aborted []tid.FamilyID
+	for t := range a.Committed {
+		committed = append(committed, t.Family)
+	}
+	for _, t := range base.Committed {
+		committed = append(committed, t.Family)
+	}
+	for t := range a.Aborted {
+		if t.IsTop() {
+			aborted = append(aborted, t.Family)
+		}
+	}
+	for _, t := range base.Aborted {
+		aborted = append(aborted, t.Family)
+	}
+	n.tm.RestoreResolved(committed, aborted)
+
+	// Install the recovered image (page base + redone tail) into each
+	// server.
+	for name, kv := range data {
+		if srv := n.servers[name]; srv != nil {
+			srv.Install(kv)
+		}
+	}
+
+	// Re-apply in-doubt updates under locks and resume the protocol
+	// that will resolve them.
+	for _, d := range a.InDoubt {
+		var parts []server.Participant
+		for name, recs := range d.Updates {
+			srv := n.servers[name]
+			if srv == nil {
+				continue
+			}
+			ups := make([]server.RecoveredUpdate, 0, len(recs))
+			for _, r := range recs {
+				ups = append(ups, server.RecoveredUpdate{Key: r.Key, Old: r.Old, New: r.New})
+			}
+			srv.Reacquire(d.TID, ups)
+			parts = append(parts, srv)
+		}
+		if d.NonBlocking && d.TID.Family.Origin() == n.id {
+			n.tm.RestoreNBCoordinator(d.TID, d.Sites, d.CommitQuorum, d.AbortQuorum,
+				d.Replicated, d.Votes, parts)
+			continue
+		}
+		n.tm.RestorePreparedSub(d.TID, d.Coordinator, d.NonBlocking, d.Sites,
+			d.CommitQuorum, d.AbortQuorum, d.Replicated, d.Votes, parts)
+	}
+
+	// Re-drive decisions whose acknowledgements never all arrived.
+	for _, res := range a.Resume {
+		n.tm.RestoreCommittedCoordinator(res.TID, res.UpdateSubs, res.NonBlocking)
+	}
+}

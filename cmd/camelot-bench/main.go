@@ -1,0 +1,73 @@
+// Command camelot-bench regenerates every table and figure of the
+// paper's evaluation (§4) from the simulated substrate and prints
+// them in the paper's row/series layout. See EXPERIMENTS.md for the
+// side-by-side comparison with the published numbers.
+//
+// Usage:
+//
+//	camelot-bench [-quick] [-only <experiment>]
+//
+// Experiments: table1 table2 table3 figure1 figure2 figure3 figure4
+// figure5 rpc multicast contention ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"camelot/internal/exp"
+	"camelot/internal/params"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer trials; finishes in seconds")
+	only := flag.String("only", "", "run a single experiment by name")
+	flag.Parse()
+
+	trials := 25
+	if *quick {
+		trials = 8
+	}
+	paper := params.Paper()
+	vax := params.VAX()
+	w := os.Stdout
+
+	if *only == "" {
+		exp.RunAll(w, *quick)
+		return
+	}
+	switch *only {
+	case "table1":
+		fmt.Fprintln(w, exp.Table1())
+	case "table2":
+		fmt.Fprintln(w, exp.Table2(paper))
+	case "table3":
+		b, t := exp.Table3(paper, trials)
+		fmt.Fprintln(w, b)
+		fmt.Fprintln(w, t)
+	case "figure1":
+		fmt.Fprintln(w, exp.Figure1(paper))
+	case "figure2":
+		fmt.Fprintln(w, exp.Figure2(paper, trials))
+	case "figure3":
+		fmt.Fprintln(w, exp.Figure3(paper, trials))
+	case "figure4":
+		fmt.Fprintln(w, exp.Figure4(vax))
+	case "figure5":
+		fmt.Fprintln(w, exp.Figure5(vax))
+	case "rpc":
+		fmt.Fprintln(w, exp.RPCBreakdown(paper, 10*trials))
+	case "multicast":
+		fmt.Fprintln(w, exp.MulticastVariance(paper, 4*trials))
+	case "contention":
+		fmt.Fprintln(w, exp.LockContention(paper, trials))
+	case "ablations":
+		fmt.Fprintln(w, exp.AblationGroupCommit(vax))
+		fmt.Fprintln(w, exp.AblationReadOnly(paper, trials))
+		fmt.Fprintln(w, exp.AblationCommitVariants(paper, trials))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,16 @@
+// Command camelot-trace regenerates the paper's Figure 1 — the
+// annotated control flow of a transaction — with the primitive costs
+// of the configured latency model, and runs the same minimal
+// transaction in simulation to show the measured end-to-end time.
+package main
+
+import (
+	"fmt"
+
+	"camelot/internal/exp"
+	"camelot/internal/params"
+)
+
+func main() {
+	fmt.Println(exp.Figure1(params.Paper()))
+}

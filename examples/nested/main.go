@@ -1,0 +1,84 @@
+// Nested: Moss-model nested transactions, Camelot's other
+// distinguishing feature. A travel-booking parent transaction tries
+// two alternative itineraries as nested children: the first fails and
+// aborts without disturbing the parent; the second commits into the
+// parent, whose top-level commit then makes everything permanent
+// atomically across sites.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/sim"
+)
+
+func main() {
+	k := sim.New(3)
+	cluster := camelot.NewCluster(k, camelot.DefaultConfig())
+	cluster.AddNode(1).AddServer("trips")   // the application's own records
+	cluster.AddNode(2).AddServer("airline") // remote airline inventory
+	cluster.AddNode(3).AddServer("hotel")   // remote hotel inventory
+
+	k.Go("main", func() {
+		// Inventory: one seat on flight B, rooms at one hotel.
+		setup, err := cluster.Node(2).Begin()
+		must(err)
+		must(setup.Write("airline", "flightA/seats", []byte("0")))
+		must(setup.Write("airline", "flightB/seats", []byte("1")))
+		must(setup.Write("hotel", "rooms", []byte("5")))
+		must(setup.Commit())
+
+		parent, err := cluster.Node(1).Begin()
+		must(err)
+		must(parent.Write("trips", "booking/42", []byte("pending")))
+
+		// Attempt 1, as a nested child: flight A is full, so the child
+		// aborts — undoing its hotel hold — while the parent lives on.
+		try1, err := parent.Child()
+		must(err)
+		seats, err := try1.Read("airline", "flightA/seats")
+		must(err)
+		if string(seats) == "0" {
+			must(try1.Write("hotel", "rooms", []byte("4"))) // held, then undone
+			must(try1.Abort())
+			fmt.Printf("[%7.1f ms] itinerary A unavailable: child aborted, parent intact\n", ms(k.Now()))
+		}
+		k.Sleep(100 * time.Millisecond) // child-abort notifications propagate
+
+		// Attempt 2: flight B works; the child's updates and locks
+		// merge into the parent on child commit.
+		try2, err := parent.Child()
+		must(err)
+		must(try2.Write("airline", "flightB/seats", []byte("0")))
+		must(try2.Write("hotel", "rooms", []byte("4")))
+		must(try2.Commit())
+		fmt.Printf("[%7.1f ms] itinerary B booked: child committed into parent\n", ms(k.Now()))
+		k.Sleep(100 * time.Millisecond)
+
+		// The parent finishes the booking; its top-level commit runs
+		// distributed two-phase commit over every site the family
+		// (including its children) touched.
+		must(parent.Write("trips", "booking/42", []byte("confirmed")))
+		must(parent.Commit())
+		k.Sleep(500 * time.Millisecond)
+
+		rooms, _ := cluster.Node(3).Server("hotel").Peek("rooms")
+		seatsB, _ := cluster.Node(2).Server("airline").Peek("flightB/seats")
+		booking, _ := cluster.Node(1).Server("trips").Peek("booking/42")
+		fmt.Printf("[%7.1f ms] final state: booking=%s flightB/seats=%s rooms=%s\n",
+			ms(k.Now()), booking, seatsB, rooms)
+		k.Stop()
+	})
+	k.RunUntil(time.Minute)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

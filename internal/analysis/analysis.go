@@ -1,0 +1,210 @@
+// Package analysis implements the paper's "static" (non-empirical)
+// analysis of commitment protocols (§4.2): the completion path (what
+// must happen before the commit-transaction call returns) and the
+// critical path (before all locks are dropped as well) expressed as
+// sums of primitive latencies. Identical parallel operations are
+// assumed to proceed perfectly in parallel, so a fan-out of datagrams
+// or forces counts once.
+//
+// Because the formulas are built from the same params.Params the
+// simulator charges, they predict simulated latency the way the
+// paper's formulas predicted measured latency — as an underestimate,
+// since CPU time inside processes is deliberately ignored.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"camelot/internal/params"
+)
+
+// Item is one step on a path.
+type Item struct {
+	Label string
+	Cost  time.Duration
+}
+
+// Breakdown is a named path: an ordered list of primitive costs.
+type Breakdown struct {
+	Name  string
+	Items []Item
+}
+
+// Total sums the path.
+func (b Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, it := range b.Items {
+		t += it.Cost
+	}
+	return t
+}
+
+// TotalMs returns the path length in milliseconds.
+func (b Breakdown) TotalMs() float64 {
+	return float64(b.Total()) / float64(time.Millisecond)
+}
+
+// String renders the breakdown as a Table-3-style listing.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", b.Name)
+	for _, it := range b.Items {
+		fmt.Fprintf(&sb, "  %-42s %6.1f ms\n", it.Label,
+			float64(it.Cost)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(&sb, "  %-42s %6.1f ms\n", "TOTAL (static)", b.TotalMs())
+	return sb.String()
+}
+
+// datagram is one inter-TranMan message: a send cycle plus the wire
+// time.
+func datagram(p params.Params, label string) Item {
+	return Item{label, p.SendCycle + p.Datagram}
+}
+
+// opItems is the operation-processing prefix common to every minimal
+// transaction: begin, one local operation (with its join), and N
+// serial remote operations. Everything here is *subtracted* when the
+// paper derives "transaction management alone".
+func opItems(p params.Params, subs int) []Item {
+	items := []Item{
+		{"begin-transaction IPC", p.LocalIPC},
+		{"local operation IPC", p.LocalIPCServer},
+		{"join-transaction IPC", p.LocalIPC},
+		{"get lock", p.GetLock},
+	}
+	for i := 0; i < subs; i++ {
+		items = append(items, Item{fmt.Sprintf("remote operation %d (RPC)", i+1), p.RemoteRPC})
+	}
+	return items
+}
+
+// commitEntry is the commit-transaction call and the local vote round.
+func commitEntry(p params.Params) []Item {
+	return []Item{
+		{"commit-transaction IPC", p.LocalIPC},
+		{"local server vote IPC", p.LocalIPCServer},
+	}
+}
+
+// OpCost returns the operation cost the paper subtracts to derive
+// transaction-management-only latency: 3.5 ms for the local operation
+// plus 29 ms per remote operation.
+func OpCost(p params.Params, subs int) time.Duration {
+	local := p.LocalIPCServer + p.GetLock
+	return local + time.Duration(subs)*p.RemoteRPC
+}
+
+// LocalUpdateCompletion is the completion path of a local update
+// transaction: one forced commit record (Figure 1's "only one log
+// write").
+func LocalUpdateCompletion(p params.Params) Breakdown {
+	b := Breakdown{Name: "local update, completion path"}
+	b.Items = append(b.Items, opItems(p, 0)...)
+	b.Items = append(b.Items, commitEntry(p)...)
+	b.Items = append(b.Items, Item{"commit record log force", p.LogForce})
+	return b
+}
+
+// LocalReadCompletion is the completion path of a local read
+// transaction: no log writes at all.
+func LocalReadCompletion(p params.Params) Breakdown {
+	b := Breakdown{Name: "local read, completion path"}
+	b.Items = append(b.Items, opItems(p, 0)...)
+	b.Items = append(b.Items, commitEntry(p)...)
+	return b
+}
+
+// TwoPhaseUpdateCompletion is the completion path of the optimized
+// two-phase commit with subs update subordinates: two forces (the
+// subordinate's prepare and the coordinator's commit) and two
+// datagrams.
+func TwoPhaseUpdateCompletion(p params.Params, subs int) Breakdown {
+	b := Breakdown{Name: fmt.Sprintf("2PC update, %d subordinate(s), completion path", subs)}
+	b.Items = append(b.Items, opItems(p, subs)...)
+	b.Items = append(b.Items, commitEntry(p)...)
+	b.Items = append(b.Items,
+		datagram(p, "PREPARE datagram"),
+		Item{"subordinate vote IPC", p.LocalIPCServer},
+		Item{"subordinate prepare log force", p.LogForce},
+		datagram(p, "VOTE datagram"),
+		Item{"coordinator commit log force", p.LogForce},
+	)
+	return b
+}
+
+// TwoPhaseUpdateCritical extends the completion path to the moment
+// all locks are dropped: the COMMIT datagram and the subordinate's
+// lock release.
+func TwoPhaseUpdateCritical(p params.Params, subs int) Breakdown {
+	b := TwoPhaseUpdateCompletion(p, subs)
+	b.Name = fmt.Sprintf("2PC update, %d subordinate(s), critical path", subs)
+	b.Items = append(b.Items,
+		datagram(p, "COMMIT datagram"),
+		Item{"drop-locks one-way IPC", p.LocalOneWay},
+		Item{"drop lock", p.DropLock},
+	)
+	return b
+}
+
+// TwoPhaseReadCompletion is the completion path of a completely
+// read-only distributed transaction: one round of messages, no log
+// writes.
+func TwoPhaseReadCompletion(p params.Params, subs int) Breakdown {
+	b := Breakdown{Name: fmt.Sprintf("2PC read, %d subordinate(s), completion path", subs)}
+	b.Items = append(b.Items, opItems(p, subs)...)
+	b.Items = append(b.Items, commitEntry(p)...)
+	if subs > 0 {
+		b.Items = append(b.Items,
+			datagram(p, "PREPARE datagram"),
+			Item{"subordinate vote IPC", p.LocalIPCServer},
+			datagram(p, "READ-ONLY VOTE datagram"),
+		)
+	}
+	return b
+}
+
+// NonBlockingUpdateCompletion is the completion path of the
+// non-blocking protocol: "4 log forces, 4 datagrams, 1 remote
+// operation, and local transaction management messages" for one
+// subordinate (§4.3).
+func NonBlockingUpdateCompletion(p params.Params, subs int) Breakdown {
+	b := Breakdown{Name: fmt.Sprintf("non-blocking update, %d subordinate(s), completion path", subs)}
+	b.Items = append(b.Items, opItems(p, subs)...)
+	b.Items = append(b.Items, commitEntry(p)...)
+	b.Items = append(b.Items,
+		Item{"coordinator prepare log force", p.LogForce},
+		datagram(p, "NB-PREPARE datagram"),
+		Item{"subordinate vote IPC", p.LocalIPCServer},
+		Item{"subordinate prepare log force", p.LogForce},
+		datagram(p, "NB-VOTE datagram"),
+		Item{"coordinator replication log force", p.LogForce},
+		datagram(p, "NB-REPLICATE datagram"),
+		Item{"subordinate replication log force", p.LogForce},
+		datagram(p, "NB-REPLICATE-ACK datagram"),
+	)
+	return b
+}
+
+// NonBlockingUpdateCritical adds the notify phase: five messages on
+// the critical path.
+func NonBlockingUpdateCritical(p params.Params, subs int) Breakdown {
+	b := NonBlockingUpdateCompletion(p, subs)
+	b.Name = fmt.Sprintf("non-blocking update, %d subordinate(s), critical path", subs)
+	b.Items = append(b.Items,
+		datagram(p, "NB-OUTCOME datagram"),
+		Item{"drop-locks one-way IPC", p.LocalOneWay},
+		Item{"drop lock", p.DropLock},
+	)
+	return b
+}
+
+// NonBlockingReadCompletion: a completely read-only transaction has
+// the same critical path as under two-phase commitment.
+func NonBlockingReadCompletion(p params.Params, subs int) Breakdown {
+	b := TwoPhaseReadCompletion(p, subs)
+	b.Name = fmt.Sprintf("non-blocking read, %d subordinate(s), completion path", subs)
+	return b
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"camelot/internal/params"
+)
+
+// The paper's own accounting is the reference: an optimized
+// two-phase update needs 2 forces and 2 datagrams beyond local work;
+// the non-blocking protocol needs 4 forces and 5 messages on its
+// critical path (one fewer datagram on the completion path).
+
+func count(b Breakdown, substr string) int {
+	n := 0
+	for _, it := range b.Items {
+		if strings.Contains(strings.ToLower(it.Label), substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTwoPhaseUpdateForceAndMessageCounts(t *testing.T) {
+	p := params.Paper()
+	comp := TwoPhaseUpdateCompletion(p, 1)
+	if got := count(comp, "force"); got != 2 {
+		t.Errorf("completion path forces = %d, want 2", got)
+	}
+	if got := count(comp, "datagram"); got != 2 {
+		t.Errorf("completion path datagrams = %d, want 2", got)
+	}
+	crit := TwoPhaseUpdateCritical(p, 1)
+	if got := count(crit, "datagram"); got != 3 {
+		t.Errorf("critical path datagrams = %d, want 3", got)
+	}
+	if crit.Total() <= comp.Total() {
+		t.Error("critical path not longer than completion path")
+	}
+}
+
+func TestNonBlockingForceAndMessageCounts(t *testing.T) {
+	p := params.Paper()
+	comp := NonBlockingUpdateCompletion(p, 1)
+	if got := count(comp, "force"); got != 4 {
+		t.Errorf("NB completion forces = %d, want 4", got)
+	}
+	if got := count(comp, "datagram"); got != 4 {
+		t.Errorf("NB completion datagrams = %d, want 4", got)
+	}
+	crit := NonBlockingUpdateCritical(p, 1)
+	if got := count(crit, "datagram"); got != 5 {
+		t.Errorf("NB critical datagrams = %d, want 5 messages", got)
+	}
+}
+
+func TestNonBlockingRoughlyTwiceTwoPhase(t *testing.T) {
+	// "The ratios of the dominant primitives are 4/2 and 5/3, which
+	// implies that the critical path of the non-blocking protocol is
+	// about twice the length of that of two-phase commit" — minus the
+	// shared operation costs.
+	p := params.Paper()
+	op := float64(OpCost(p, 1)+p.LocalIPC) / float64(time.Millisecond)
+	tp := TwoPhaseUpdateCritical(p, 1).TotalMs() - op
+	nb := NonBlockingUpdateCritical(p, 1).TotalMs() - op
+	ratio := nb / tp
+	if ratio < 1.2 || ratio > 2.0 {
+		t.Errorf("NB/2PC critical ratio = %.2f, want between 1.2 and 2.0 (\"somewhat less than twice\")", ratio)
+	}
+}
+
+func TestReadPathsHaveNoForces(t *testing.T) {
+	p := params.Paper()
+	for _, b := range []Breakdown{
+		LocalReadCompletion(p),
+		TwoPhaseReadCompletion(p, 1),
+		NonBlockingReadCompletion(p, 2),
+	} {
+		if got := count(b, "force"); got != 0 {
+			t.Errorf("%s has %d forces, want 0", b.Name, got)
+		}
+	}
+}
+
+func TestNonBlockingReadEqualsTwoPhaseRead(t *testing.T) {
+	// "A transaction that is completely read-only has the same
+	// critical path performance as in two-phase commitment."
+	p := params.Paper()
+	if NonBlockingReadCompletion(p, 2).Total() != TwoPhaseReadCompletion(p, 2).Total() {
+		t.Error("NB read path differs from 2PC read path")
+	}
+}
+
+func TestLocalPathsMatchPaperBallpark(t *testing.T) {
+	p := params.Paper()
+	// Paper: 24.5 ms static for the local update, 9.5 for the local
+	// read. Our accounting differs slightly (it includes the join
+	// IPC); it must land within a couple of milliseconds.
+	if ms := LocalUpdateCompletion(p).TotalMs(); ms < 22 || ms > 28 {
+		t.Errorf("local update static = %.1f ms, want ≈24.5", ms)
+	}
+	if ms := LocalReadCompletion(p).TotalMs(); ms < 8 || ms > 14 {
+		t.Errorf("local read static = %.1f ms, want ≈9.5", ms)
+	}
+	if ms := TwoPhaseUpdateCompletion(p, 1).TotalMs(); ms < 90 || ms > 105 {
+		t.Errorf("1-sub update static = %.1f ms, want ≈99.5", ms)
+	}
+	if ms := NonBlockingUpdateCompletion(p, 1).TotalMs(); ms < 140 || ms > 160 {
+		t.Errorf("NB 1-sub update static = %.1f ms, want ≈150", ms)
+	}
+}
+
+func TestRemoteOperationsScaleLinearly(t *testing.T) {
+	p := params.Paper()
+	d1 := TwoPhaseUpdateCompletion(p, 2).Total() - TwoPhaseUpdateCompletion(p, 1).Total()
+	d2 := TwoPhaseUpdateCompletion(p, 3).Total() - TwoPhaseUpdateCompletion(p, 2).Total()
+	if d1 != d2 || d1 != p.RemoteRPC {
+		t.Errorf("per-subordinate increments %v, %v; want both %v (one remote op)", d1, d2, p.RemoteRPC)
+	}
+}
+
+func TestOpCost(t *testing.T) {
+	p := params.Paper()
+	// The paper subtracts 3.5 + 29N ms.
+	if got := OpCost(p, 0); got != 3500*time.Microsecond {
+		t.Errorf("OpCost(0) = %v, want 3.5ms", got)
+	}
+	if got := OpCost(p, 2); got != 3500*time.Microsecond+2*p.RemoteRPC {
+		t.Errorf("OpCost(2) = %v", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := LocalUpdateCompletion(params.Paper())
+	s := b.String()
+	if !strings.Contains(s, "TOTAL") || !strings.Contains(s, "log force") {
+		t.Errorf("breakdown rendering missing parts:\n%s", s)
+	}
+}
+
+func TestTotalsAreItemSums(t *testing.T) {
+	p := params.Paper()
+	for _, b := range []Breakdown{
+		LocalUpdateCompletion(p),
+		TwoPhaseUpdateCritical(p, 3),
+		NonBlockingUpdateCompletion(p, 2),
+	} {
+		var sum time.Duration
+		for _, it := range b.Items {
+			sum += it.Cost
+		}
+		if sum != b.Total() {
+			t.Errorf("%s: Total %v != item sum %v", b.Name, b.Total(), sum)
+		}
+	}
+}

@@ -1,0 +1,491 @@
+// Package core implements the Camelot transaction manager (TranMan)
+// — the paper's subject. It is "essentially a protocol processor":
+// applications obtain transaction identifiers from it, data servers
+// join transactions through it, and commit/abort calls invoke one of
+// its distributed protocols:
+//
+//   - presumed-abort two-phase commit with Duchamp's delayed-commit
+//     optimization (§3.2), plus the semi-optimized and unoptimized
+//     variants the paper measures against each other (§4.2);
+//   - the non-blocking three-phase protocol with a replication phase
+//     (§3.3), including subordinate-to-coordinator promotion on
+//     timeout and tolerance of multiple simultaneous coordinators;
+//   - the read-only optimization for both;
+//   - the abort protocol, presumed-abort inquiries, and nested
+//     transaction (Moss model) begin/commit/abort with distributed
+//     child resolution.
+//
+// The manager is multithreaded exactly as §3.4 prescribes: a fixed
+// pool of threads waits on a single input queue ("have every thread
+// wait for any type of input, process the input, and resume
+// waiting"); no thread is tied to a transaction; synchronous log
+// forces hold the thread that issued them, which is why throughput
+// with one thread collapses unless the log batches (Figures 4, 5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"camelot/internal/params"
+	"camelot/internal/rt"
+	"camelot/internal/server"
+	"camelot/internal/tid"
+	"camelot/internal/transport"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// Client-visible errors.
+var (
+	// ErrAborted reports that commit-transaction ended in abort.
+	ErrAborted = errors.New("core: transaction aborted")
+	// ErrClosed reports a call into a crashed or shut-down manager.
+	ErrClosed = errors.New("core: transaction manager closed")
+	// ErrUnknownTransaction reports an operation on a transaction the
+	// manager has no record of.
+	ErrUnknownTransaction = errors.New("core: unknown transaction")
+)
+
+// Options selects the commitment protocol for one transaction, the
+// experimental knobs of §4.2.
+type Options struct {
+	// NonBlocking selects the three-phase non-blocking protocol of
+	// §3.3 instead of two-phase commit. ("The type of commitment
+	// protocol to execute is specified as an argument to the
+	// commit-transaction call.")
+	NonBlocking bool
+	// ForceSubCommit makes subordinates force their commit records.
+	// False is the delayed-commit optimization: the subordinate drops
+	// its locks before (lazily) writing the commit record.
+	ForceSubCommit bool
+	// ImmediateAck makes subordinates send the commit-ack as its own
+	// datagram as soon as their commit record is stable. False delays
+	// the ack for piggybacking/batching.
+	ImmediateAck bool
+	// Multicast sends each coordinator fan-out (prepare, replicate,
+	// outcome) as one multicast rather than serial unicasts.
+	Multicast bool
+	// DisableReadOnlyOpt forces read-only sites through the full
+	// update path, for the ablation experiment.
+	DisableReadOnlyOpt bool
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Site is this manager's site identifier; it must be unique in
+	// the network and nonzero.
+	Site tid.SiteID
+	// Threads is the pool size (the paper studies 1, 5, 20).
+	Threads int
+	// Params is the latency model.
+	Params params.Params
+	// Kernel, if non-nil, is the site's serially shared kernel
+	// processor through which IPC costs are charged.
+	Kernel *rt.CPU
+	// RetryInterval is the coordinator's datagram retransmit period.
+	RetryInterval time.Duration
+	// InquireInterval is how long a prepared 2PC subordinate waits
+	// for the outcome before (repeatedly) inquiring at the
+	// coordinator.
+	InquireInterval time.Duration
+	// PromotionTimeout is how long a non-blocking subordinate waits
+	// for protocol progress before promoting itself to coordinator.
+	PromotionTimeout time.Duration
+	// AckFlushInterval bounds how long delayed commit-acks wait for a
+	// datagram to piggyback on before being sent in a batch of their
+	// own.
+	AckFlushInterval time.Duration
+	// VoteRetries bounds how many times a coordinator re-solicits
+	// missing phase-one votes before deciding abort (a subordinate
+	// that never answers is presumed failed, and abort is always safe
+	// before the commit point).
+	VoteRetries int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Threads <= 0 {
+		c.Threads = 5
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 500 * time.Millisecond
+	}
+	if c.InquireInterval <= 0 {
+		c.InquireInterval = time.Second
+	}
+	if c.PromotionTimeout <= 0 {
+		c.PromotionTimeout = time.Second
+	}
+	if c.AckFlushInterval <= 0 {
+		c.AckFlushInterval = 200 * time.Millisecond
+	}
+	if c.VoteRetries <= 0 {
+		c.VoteRetries = 20
+	}
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	Begun           int
+	Committed       int
+	Aborted         int
+	Promotions      int // non-blocking subordinate → coordinator
+	Inquiries       int
+	AcksPiggybacked int
+	AcksStandalone  int
+}
+
+// Manager is one site's transaction manager.
+type Manager struct {
+	r   rt.Runtime
+	cfg Config
+	log *wal.Log
+	net transport.Sender
+
+	queue *rt.Queue[func()]
+
+	mu          rt.Mutex
+	families    map[tid.FamilyID]*family
+	nextFamily  uint32
+	nextChild   uint32
+	pendingAcks map[tid.SiteID][]tid.TID
+	// resolved remembers the outcome of every finished family. It is
+	// what lets this site answer a promoted coordinator's status
+	// inquiry (or an abort-intent solicitation) correctly for a
+	// transaction it has already forgotten — without it, survivors of
+	// a coordinator crash could assemble an abort quorum for a
+	// transaction that committed everywhere. Recovery repopulates it
+	// from the log. Truncating it requires log garbage collection,
+	// which Camelot also deferred.
+	resolved map[tid.FamilyID]wire.Outcome
+	seq      uint64
+	closed   bool
+	stats    Stats
+}
+
+// phase is a family's position in its commitment protocol at this
+// site.
+type phase uint8
+
+const (
+	phActive      phase = iota // operations running
+	phPreparing                // coordinator: waiting for votes
+	phReplicating              // NB coordinator: waiting for replicate acks
+	phPrepared                 // subordinate: prepared, awaiting outcome
+	phReplicated               // NB subordinate: commit intent forced
+	phCommitted
+	phAborted
+)
+
+// family is the per-family descriptor: "the principal data structure
+// is a hash table of family descriptors, each with an attached hash
+// table of transaction descriptors" (§3.4).
+type family struct {
+	id    tid.FamilyID
+	opts  Options
+	ph    phase
+	coord bool // this site began the family
+
+	participants map[string]server.Participant
+	txns         map[tid.TID]*txn
+
+	// Coordinator state.
+	remoteSites map[tid.SiteID]bool
+	votes       map[tid.SiteID]wire.Vote
+	updateSubs  map[tid.SiteID]bool
+	acksPending map[tid.SiteID]bool
+	result      *rt.Future[wire.Outcome]
+	localVote   wire.Vote
+
+	// Non-blocking state (both roles).
+	nbSites      []tid.SiteID
+	commitQuorum int
+	abortQuorum  int
+	nbVotes      []wire.SiteVote
+	replAcks     map[tid.SiteID]bool // coordinator: who has forced intent
+	replTargets  map[tid.SiteID]bool
+
+	// Subordinate state.
+	prepared bool
+	outcome  wire.Outcome
+	timer    rt.Timer
+	nbState  wire.NBState
+	attempts int // retry count in the current waiting phase
+
+	// Promotion (a subordinate acting as coordinator, §3.3 change 2).
+	promoted     bool
+	statusResp   map[tid.SiteID]wire.NBState
+	abortIntents map[tid.SiteID]bool
+}
+
+// txn is one transaction within a family.
+type txn struct {
+	id      tid.TID
+	parent  tid.TID
+	sites   map[tid.SiteID]bool // remote sites this transaction touched
+	aborted bool
+}
+
+// New starts a transaction manager. The caller (the site assembly)
+// routes inbound *wire.Msg datagrams to Deliver.
+func New(r rt.Runtime, cfg Config, log *wal.Log, net transport.Sender) *Manager {
+	cfg.fillDefaults()
+	m := &Manager{
+		r:           r,
+		cfg:         cfg,
+		log:         log,
+		net:         net,
+		families:    make(map[tid.FamilyID]*family),
+		pendingAcks: make(map[tid.SiteID][]tid.TID),
+		resolved:    make(map[tid.FamilyID]wire.Outcome),
+	}
+	m.mu = r.NewMutex()
+	m.queue = rt.NewQueue[func()](r)
+	for i := 0; i < cfg.Threads; i++ {
+		m.r.Go(fmt.Sprintf("tranman%d-worker%d", cfg.Site, i), m.worker)
+	}
+	m.r.Go(fmt.Sprintf("tranman%d-ackflush", cfg.Site), m.ackFlusher)
+	return m
+}
+
+// Deliver hands an inbound datagram to the thread pool.
+func (m *Manager) Deliver(msg *wire.Msg) {
+	m.queue.Put(func() { m.handle(msg) })
+}
+
+// Site returns this manager's site id.
+func (m *Manager) Site() tid.SiteID { return m.cfg.Site }
+
+// SetFamilyFloor raises the family counter so newly begun
+// transactions never reuse a previous incarnation's identifiers. The
+// recovery process calls it with the highest counter found in the
+// log (plus a safety margin covering transactions that never logged).
+func (m *Manager) SetFamilyFloor(counter uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if counter > m.nextFamily {
+		m.nextFamily = counter
+	}
+}
+
+// Stats returns a snapshot of protocol counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// QueueDepth reports requests waiting for a pool thread.
+func (m *Manager) QueueDepth() int { return m.queue.Len() }
+
+// Close shuts the manager down as a crash would: pending work is
+// abandoned and callers get ErrClosed/aborted outcomes where a thread
+// is still around to deliver them.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, f := range m.families {
+		if f.result != nil {
+			// The crash leaves the outcome undetermined: a promoted
+			// subordinate may yet commit this transaction. Reporting
+			// abort here would be a lie the client could act on.
+			f.result.Set(wire.OutcomeUnknown)
+		}
+		if f.timer != nil {
+			f.timer.Stop()
+		}
+	}
+	m.mu.Unlock()
+	m.queue.Close()
+}
+
+// worker is one pool thread: wait for any input, process it, resume
+// waiting (§3.4).
+func (m *Manager) worker() {
+	for {
+		fn, ok := m.queue.Get()
+		if !ok {
+			return
+		}
+		m.chargeCPU()
+		fn()
+	}
+}
+
+func (m *Manager) chargeCPU() {
+	if m.cfg.Params.TMCPU > 0 {
+		m.r.Sleep(m.cfg.Params.TMCPU)
+	}
+}
+
+func (m *Manager) chargeClientIPC() {
+	rt.Charge(m.r, m.cfg.Kernel, m.cfg.Params.LocalIPC+m.cfg.Params.KernelCPU)
+}
+
+// --- client interface ---
+
+// Begin allocates a new top-level transaction (Figure 1 step 2).
+func (m *Manager) Begin() (tid.TID, error) {
+	m.chargeClientIPC()
+	fut := rt.NewFuture[tid.TID](m.r)
+	m.queue.Put(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.nextFamily++
+		f := tid.MakeFamily(m.cfg.Site, m.nextFamily)
+		t := tid.Top(f)
+		fam := m.newFamilyLocked(f)
+		fam.coord = true
+		fam.txns[t] = &txn{id: t, sites: make(map[tid.SiteID]bool)}
+		m.stats.Begun++
+		fut.Set(t)
+	})
+	t, ok := fut.WaitTimeout(time.Minute)
+	if !ok {
+		return tid.TID{}, ErrClosed
+	}
+	return t, nil
+}
+
+// BeginChild allocates a nested transaction under parent at this
+// site. Any site a family reaches may begin children.
+func (m *Manager) BeginChild(parent tid.TID) (tid.TID, error) {
+	m.chargeClientIPC()
+	fut := rt.NewFuture[tid.TID](m.r)
+	m.queue.Put(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		fam := m.families[parent.Family]
+		if fam == nil || fam.txns[parent] == nil {
+			fut.Set(tid.TID{})
+			return
+		}
+		m.nextChild++
+		t := tid.TID{Family: parent.Family, Seq: tid.MakeSeq(m.cfg.Site, m.nextChild)}
+		fam.txns[t] = &txn{id: t, parent: parent, sites: make(map[tid.SiteID]bool)}
+		fut.Set(t)
+	})
+	t, ok := fut.WaitTimeout(time.Minute)
+	if !ok || t.IsZero() {
+		if !ok {
+			return tid.TID{}, ErrClosed
+		}
+		return tid.TID{}, fmt.Errorf("%w: parent %s", ErrUnknownTransaction, parent)
+	}
+	return t, nil
+}
+
+// Join registers p as a participant in t's family at this site
+// (Figure 1 step 4). Data servers call it on the first operation a
+// transaction performs there; at subordinate sites it also creates
+// the family descriptor that the commit protocols will find.
+func (m *Manager) Join(t, parent tid.TID, p server.Participant) error {
+	fut := rt.NewFuture[error](m.r)
+	m.queue.Put(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.closed {
+			fut.Set(ErrClosed)
+			return
+		}
+		fam := m.families[t.Family]
+		if fam == nil {
+			fam = m.newFamilyLocked(t.Family)
+		}
+		switch fam.ph {
+		case phActive:
+		default:
+			fut.Set(fmt.Errorf("core: join after commitment began for %s", t))
+			return
+		}
+		if fam.txns[t] == nil {
+			fam.txns[t] = &txn{id: t, parent: parent, sites: make(map[tid.SiteID]bool)}
+		}
+		fam.participants[p.Name()] = p
+		// A remote family that joins here might be orphaned: if the
+		// operation's response is lost, the coordinator never learns
+		// this site participates and its abort protocol will miss us.
+		// The orphan timer inquires periodically; presumed abort
+		// resolves a transaction the coordinator has forgotten.
+		if t.Family.Origin() != m.cfg.Site && fam.timer == nil {
+			m.scheduleLocked(fam, 4*m.cfg.InquireInterval)
+		}
+		fut.Set(nil)
+	})
+	err, ok := fut.WaitTimeout(time.Minute)
+	if !ok {
+		return ErrClosed
+	}
+	return err
+}
+
+// AddSites records that t spread to the given remote sites — the
+// information the communication manager gleans by spying on
+// response messages (§3.1).
+func (m *Manager) AddSites(t tid.TID, sites []tid.SiteID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fam := m.families[t.Family]
+	if fam == nil {
+		return
+	}
+	for _, s := range sites {
+		if s == m.cfg.Site {
+			continue
+		}
+		fam.remoteSites[s] = true
+		if tx := fam.txns[t]; tx != nil {
+			tx.sites[s] = true
+		}
+	}
+}
+
+// newFamilyLocked creates the family descriptor.
+func (m *Manager) newFamilyLocked(f tid.FamilyID) *family {
+	fam := &family{
+		id:           f,
+		participants: make(map[string]server.Participant),
+		txns:         make(map[tid.TID]*txn),
+		remoteSites:  make(map[tid.SiteID]bool),
+		votes:        make(map[tid.SiteID]wire.Vote),
+		updateSubs:   make(map[tid.SiteID]bool),
+		acksPending:  make(map[tid.SiteID]bool),
+	}
+	m.families[f] = fam
+	return fam
+}
+
+// forget removes the family descriptor — permitted only once every
+// site has learned the outcome (§3.3 change 4 for non-blocking;
+// after the last commit-ack for two-phase) — while retaining the
+// final outcome in the resolved map.
+func (m *Manager) forgetLocked(f *family) {
+	if f.timer != nil {
+		f.timer.Stop()
+	}
+	switch f.ph {
+	case phCommitted:
+		m.resolved[f.id] = wire.OutcomeCommit
+	case phAborted:
+		m.resolved[f.id] = wire.OutcomeAbort
+	}
+	delete(m.families, f.id)
+}
+
+// RestoreResolved repopulates the resolved-outcome memory from the
+// recovery analysis.
+func (m *Manager) RestoreResolved(committed, aborted []tid.FamilyID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range committed {
+		m.resolved[f] = wire.OutcomeCommit
+	}
+	for _, f := range aborted {
+		m.resolved[f] = wire.OutcomeAbort
+	}
+}

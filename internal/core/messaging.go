@@ -1,0 +1,279 @@
+package core
+
+import (
+	"time"
+
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// sendLocked transmits one datagram, attaching any delayed
+// commit-acks destined for the same site (the piggybacking half of
+// the delayed-commit optimization). Callers hold m.mu.
+func (m *Manager) sendLocked(to tid.SiteID, msg *wire.Msg) {
+	msg.From = m.cfg.Site
+	msg.To = to
+	m.seq++
+	msg.Seq = m.seq
+	if acks := m.pendingAcks[to]; len(acks) > 0 && msg.Kind != wire.KCommitAck {
+		msg.AckTIDs = acks
+		delete(m.pendingAcks, to)
+		m.stats.AcksPiggybacked += len(acks)
+	}
+	m.net.Send(m.cfg.Site, to, msg)
+}
+
+// fanoutLocked sends msg to every site in tos — as one multicast or
+// as the serial unicast loop whose per-send jitter the multicast
+// experiment measures.
+func (m *Manager) fanoutLocked(tos []tid.SiteID, msg *wire.Msg, multicast bool) {
+	if len(tos) == 0 {
+		return
+	}
+	msg.From = m.cfg.Site
+	m.seq++
+	msg.Seq = m.seq
+	if multicast {
+		m.net.Multicast(m.cfg.Site, tos, msg)
+		return
+	}
+	m.net.SendAll(m.cfg.Site, tos, msg)
+}
+
+// queueAckLocked schedules a delayed commit-ack to coordinator: it
+// rides the next datagram to that site or the next ack flush,
+// whichever comes first.
+func (m *Manager) queueAckLocked(coordinator tid.SiteID, t tid.TID) {
+	m.pendingAcks[coordinator] = append(m.pendingAcks[coordinator], t)
+}
+
+// ackFlusher periodically sends delayed acks that found nothing to
+// piggyback on, as one batched KCommitAck per destination.
+func (m *Manager) ackFlusher() {
+	for {
+		m.r.Sleep(m.cfg.AckFlushInterval)
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		for site, acks := range m.pendingAcks {
+			delete(m.pendingAcks, site)
+			m.stats.AcksStandalone += len(acks)
+			msg := &wire.Msg{Kind: wire.KCommitAck, From: m.cfg.Site, To: site, AckTIDs: acks}
+			m.seq++
+			msg.Seq = m.seq
+			m.net.Send(m.cfg.Site, site, msg)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// scheduleLocked (re)arms the family's single protocol timer; when it
+// fires, tick re-examines the family's phase and retries whatever is
+// outstanding — retransmits, inquiries, or non-blocking promotion.
+func (m *Manager) scheduleLocked(f *family, d time.Duration) {
+	if f.timer != nil {
+		f.timer.Stop()
+	}
+	id := f.id
+	f.timer = m.r.After(d, func() {
+		m.queue.Put(func() { m.tick(id) })
+	})
+}
+
+// tick is the timer-driven retry/timeout path.
+func (m *Manager) tick(id tid.FamilyID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[id]
+	if f == nil || m.closed {
+		return
+	}
+	switch {
+	case f.promoted:
+		// Promoted coordinator: drive the recovery protocol again.
+		m.promotionSweepLocked(f)
+	case f.coord && f.ph == phPreparing:
+		// Re-send prepares to sites that have not voted. A site that
+		// never answers is presumed failed; abort is still safe
+		// because no commit point exists yet.
+		f.attempts++
+		if f.attempts > m.cfg.VoteRetries {
+			if f.opts.NonBlocking {
+				m.nbDecideAbortLocked(f)
+			} else {
+				m.abortFamilyLocked(f)
+			}
+			return
+		}
+		var missing []tid.SiteID
+		for s := range f.remoteSites {
+			if _, ok := f.votes[s]; !ok {
+				missing = append(missing, s)
+			}
+		}
+		m.fanoutLocked(missing, m.prepareMsgLocked(f), f.opts.Multicast)
+		m.scheduleLocked(f, m.cfg.RetryInterval)
+	case f.coord && f.ph == phReplicating:
+		// Past the replication phase's start a unilateral abort is no
+		// longer safe — a commit quorum may already exist. If the
+		// targets stop answering, fall back to the promotion
+		// machinery, which decides by quorum.
+		f.attempts++
+		if f.attempts > m.cfg.VoteRetries {
+			m.promoteLocked(f)
+			return
+		}
+		var missing []tid.SiteID
+		for s := range f.replTargets {
+			if !f.replAcks[s] {
+				missing = append(missing, s)
+			}
+		}
+		m.fanoutLocked(missing, m.replicateMsgLocked(f), f.opts.Multicast)
+		m.scheduleLocked(f, m.cfg.RetryInterval)
+	case (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0:
+		// Re-send the outcome to sites that have not acknowledged.
+		var missing []tid.SiteID
+		for s := range f.acksPending {
+			missing = append(missing, s)
+		}
+		m.fanoutLocked(missing, m.outcomeMsgLocked(f), f.opts.Multicast)
+		m.scheduleLocked(f, m.cfg.RetryInterval)
+	case f.ph == phPrepared && !f.opts.NonBlocking && !f.coord:
+		// Blocked two-phase subordinate: ask the coordinator.
+		m.stats.Inquiries++
+		m.sendLocked(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+		m.scheduleLocked(f, m.cfg.InquireInterval)
+	case f.ph == phActive && !f.coord:
+		// Orphan check: a remote family still active here long after
+		// joining. If the coordinator is alive and still running the
+		// transaction it ignores the inquiry; if it aborted or never
+		// heard of us, presumed abort answers and releases our locks
+		// and updates.
+		m.stats.Inquiries++
+		m.sendLocked(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+		m.scheduleLocked(f, 4*m.cfg.InquireInterval)
+	case (f.ph == phPrepared || f.ph == phReplicated) && f.opts.NonBlocking && !f.coord:
+		// Non-blocking subordinate stalled: become a coordinator
+		// (§3.3 change 2).
+		m.promoteLocked(f)
+	}
+}
+
+// prepareMsgLocked builds the phase-one message for f.
+func (m *Manager) prepareMsgLocked(f *family) *wire.Msg {
+	msg := &wire.Msg{TID: tid.Top(f.id), Flags: f.flags()}
+	if f.opts.NonBlocking {
+		msg.Kind = wire.KNBPrepare
+		msg.Sites = f.nbSites
+		msg.CommitQuorum = uint16(f.commitQuorum)
+		msg.AbortQuorum = uint16(f.abortQuorum)
+	} else {
+		msg.Kind = wire.KPrepare
+	}
+	return msg
+}
+
+// replicateMsgLocked builds the replication-phase message.
+func (m *Manager) replicateMsgLocked(f *family) *wire.Msg {
+	return &wire.Msg{
+		Kind:         wire.KNBReplicate,
+		TID:          tid.Top(f.id),
+		Sites:        f.nbSites,
+		CommitQuorum: uint16(f.commitQuorum),
+		AbortQuorum:  uint16(f.abortQuorum),
+		Votes:        f.nbVotes,
+		Flags:        f.flags(),
+	}
+}
+
+// outcomeMsgLocked builds the outcome notification for f's decision.
+func (m *Manager) outcomeMsgLocked(f *family) *wire.Msg {
+	msg := &wire.Msg{TID: tid.Top(f.id), Flags: f.flags()}
+	if f.opts.NonBlocking {
+		msg.Kind = wire.KNBOutcome
+		if f.ph == phCommitted {
+			msg.Outcome = wire.OutcomeCommit
+		} else {
+			msg.Outcome = wire.OutcomeAbort
+		}
+	} else if f.ph == phCommitted {
+		msg.Kind = wire.KCommit
+	} else {
+		msg.Kind = wire.KAbort
+	}
+	return msg
+}
+
+func (f *family) flags() uint8 {
+	var fl uint8
+	if f.opts.ForceSubCommit {
+		fl |= wire.FlagForceSubCommit
+	}
+	if f.opts.ImmediateAck {
+		fl |= wire.FlagImmediateAck
+	}
+	if f.opts.DisableReadOnlyOpt {
+		fl |= wire.FlagNoReadOnlyOpt
+	}
+	return fl
+}
+
+// handle dispatches one inbound datagram on a pool thread.
+func (m *Manager) handle(msg *wire.Msg) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	// Piggybacked commit-acks ride on any message (§3.2).
+	for _, t := range msg.AckTIDs {
+		m.onCommitAckLocked(msg.From, t)
+	}
+	m.mu.Unlock()
+
+	switch msg.Kind {
+	case wire.KPrepare:
+		m.onPrepare(msg)
+	case wire.KVote:
+		m.onVote(msg)
+	case wire.KCommit, wire.KAbort:
+		m.onOutcome2PC(msg)
+	case wire.KCommitAck:
+		// Pure ack batch: AckTIDs already processed; a bare TID in
+		// the header is also an ack.
+		if !msg.TID.IsZero() {
+			m.mu.Lock()
+			m.onCommitAckLocked(msg.From, msg.TID)
+			m.mu.Unlock()
+		}
+	case wire.KInquire:
+		m.onInquire(msg)
+	case wire.KNBPrepare:
+		m.onNBPrepare(msg)
+	case wire.KNBVote:
+		m.onNBVote(msg)
+	case wire.KNBReplicate:
+		m.onNBReplicate(msg)
+	case wire.KNBReplicateAck:
+		m.onNBReplicateAck(msg)
+	case wire.KNBOutcome:
+		m.onNBOutcome(msg)
+	case wire.KNBOutcomeAck:
+		m.onNBOutcomeAck(msg)
+	case wire.KNBStatusReq:
+		m.onNBStatusReq(msg)
+	case wire.KNBStatusResp:
+		m.onNBStatusResp(msg)
+	case wire.KNBAbortIntent:
+		m.onNBAbortIntent(msg)
+	case wire.KNBAbortIntentAck:
+		m.onNBAbortIntentAck(msg)
+	case wire.KChildCommit:
+		m.onChildCommit(msg)
+	case wire.KChildAbort:
+		m.onChildAbort(msg)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"camelot/internal/rt"
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// newResultFuture builds a future on the manager's runtime.
+func newResultFuture[T any](m *Manager) *rt.Future[T] { return rt.NewFuture[T](m.r) }
+
+// Nested transactions (Moss model). Committing a child merges its
+// locks, updates, and site set into the parent at every site the
+// child touched; aborting a child undoes its subtree everywhere
+// without disturbing the rest of the family. Only a top-level commit
+// runs a distributed commitment protocol — child resolution messages
+// are one-way notifications, retried implicitly by the fact that an
+// unresolved child simply keeps its locks (a lost CHILD-COMMIT makes
+// the parent wait, never misbehave).
+
+// commitChild merges a committed nested transaction into its parent.
+func (m *Manager) commitChild(child tid.TID) (wire.Outcome, error) {
+	type result struct {
+		err   error
+		sites []tid.SiteID
+		par   tid.TID
+	}
+	done := newResultFuture[result](m)
+	m.queue.Put(func() {
+		m.mu.Lock()
+		f := m.families[child.Family]
+		if f == nil {
+			m.mu.Unlock()
+			done.Set(result{err: fmt.Errorf("%w: %s", ErrUnknownTransaction, child)})
+			return
+		}
+		tx := f.txns[child]
+		if tx == nil || tx.aborted {
+			m.mu.Unlock()
+			done.Set(result{err: fmt.Errorf("%w: %s", ErrUnknownTransaction, child)})
+			return
+		}
+		parent := tx.parent
+		ptx := f.txns[parent]
+		if ptx != nil {
+			for s := range tx.sites {
+				ptx.sites[s] = true
+			}
+		}
+		sites := make([]tid.SiteID, 0, len(tx.sites))
+		for s := range tx.sites {
+			sites = append(sites, s)
+		}
+		delete(f.txns, child)
+		parts := m.participantsLocked(f)
+		// Notify remote sites the child touched.
+		for _, s := range sites {
+			m.sendLocked(s, &wire.Msg{Kind: wire.KChildCommit, TID: child, Parent: parent})
+		}
+		m.mu.Unlock()
+		for _, p := range parts {
+			p.CommitChild(child, parent)
+		}
+		done.Set(result{par: parent, sites: sites})
+	})
+	res, ok := done.WaitTimeout(m.cfg.RetryInterval * 600)
+	if !ok {
+		return wire.OutcomeUnknown, ErrClosed
+	}
+	if res.err != nil {
+		return wire.OutcomeAbort, res.err
+	}
+	return wire.OutcomeCommit, nil
+}
+
+// abortChild undoes a nested transaction and its descendants at every
+// site it touched.
+func (m *Manager) abortChild(child tid.TID) error {
+	done := newResultFuture[error](m)
+	m.queue.Put(func() {
+		m.mu.Lock()
+		f := m.families[child.Family]
+		if f == nil {
+			m.mu.Unlock()
+			done.Set(fmt.Errorf("%w: %s", ErrUnknownTransaction, child))
+			return
+		}
+		tx := f.txns[child]
+		if tx == nil {
+			m.mu.Unlock()
+			done.Set(fmt.Errorf("%w: %s", ErrUnknownTransaction, child))
+			return
+		}
+		tx.aborted = true
+		// Collect the sites of the whole doomed subtree known here.
+		sites := make(map[tid.SiteID]bool)
+		doomed := m.subtreeLocked(f, child)
+		for _, d := range doomed {
+			for s := range d.sites {
+				sites[s] = true
+			}
+			delete(f.txns, d.id)
+		}
+		parts := m.participantsLocked(f)
+		for s := range sites {
+			m.sendLocked(s, &wire.Msg{Kind: wire.KChildAbort, TID: child})
+		}
+		m.mu.Unlock()
+		for _, p := range parts {
+			p.AbortChild(child)
+		}
+		done.Set(nil)
+	})
+	err, ok := done.WaitTimeout(m.cfg.RetryInterval * 600)
+	if !ok {
+		return ErrClosed
+	}
+	return err
+}
+
+// subtreeLocked returns child and every descendant tracked at this
+// site, child first.
+func (m *Manager) subtreeLocked(f *family, child tid.TID) []*txn {
+	var out []*txn
+	if tx := f.txns[child]; tx != nil {
+		out = append(out, tx)
+	}
+	changed := true
+	in := map[tid.TID]bool{child: true}
+	for changed {
+		changed = false
+		for id, tx := range f.txns {
+			if !in[id] && in[tx.parent] {
+				in[id] = true
+				out = append(out, tx)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// onChildCommit applies a remote child's merge at this site.
+func (m *Manager) onChildCommit(msg *wire.Msg) {
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		m.mu.Unlock()
+		return
+	}
+	if tx := f.txns[msg.TID]; tx != nil {
+		if ptx := f.txns[msg.Parent]; ptx == nil {
+			f.txns[msg.Parent] = &txn{id: msg.Parent, sites: tx.sites}
+		} else {
+			for s := range tx.sites {
+				ptx.sites[s] = true
+			}
+		}
+		delete(f.txns, msg.TID)
+	}
+	parts := m.participantsLocked(f)
+	m.mu.Unlock()
+	for _, p := range parts {
+		p.CommitChild(msg.TID, msg.Parent)
+	}
+}
+
+// onChildAbort undoes a remote child's subtree at this site.
+func (m *Manager) onChildAbort(msg *wire.Msg) {
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		m.mu.Unlock()
+		return
+	}
+	for _, d := range m.subtreeLocked(f, msg.TID) {
+		delete(f.txns, d.id)
+	}
+	parts := m.participantsLocked(f)
+	m.mu.Unlock()
+	for _, p := range parts {
+		p.AbortChild(msg.TID)
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"sort"
+
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// This file implements the non-blocking commitment protocol of §3.3:
+// three phases (prepare, replicate, notify), two log forces per site,
+// five messages on the critical path of a one-subordinate update.
+// The five changes to two-phase commit are marked where implemented.
+
+// nbBeginCommitLocked starts non-blocking commitment at the
+// coordinator. Change 5: the coordinator prepares — forces its own
+// prepare record — before sending the prepare message.
+func (m *Manager) nbBeginCommitLocked(f *family) {
+	sites := append([]tid.SiteID{m.cfg.Site}, sortedSites(f.remoteSites)...)
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	f.nbSites = sites
+	// Quorum sizes satisfy Skeen's condition Qc + Qa > N, weighted
+	// toward abort availability: commit needs a majority of intent
+	// records, while the complementary abort quorum lets the largest
+	// surviving minority that excludes commit still finish. With two
+	// sites this means Qc=2, Qa=1 — a lone prepared subordinate can
+	// abort after its coordinator dies.
+	f.commitQuorum = len(sites)/2 + 1
+	f.abortQuorum = len(sites) - f.commitQuorum + 1
+	f.votes[m.cfg.Site] = f.localVote
+	f.replAcks = make(map[tid.SiteID]bool)
+	f.replTargets = make(map[tid.SiteID]bool)
+
+	if f.localVote == wire.VoteYes {
+		rec := &wal.Record{
+			Type:         wal.RecPrepare,
+			TID:          tid.Top(f.id),
+			Coordinator:  m.cfg.Site,
+			Sites:        sites,
+			CommitQuorum: uint16(f.commitQuorum),
+			AbortQuorum:  uint16(f.abortQuorum),
+		}
+		m.mu.Unlock()
+		lsn, err := m.log.Append(rec)
+		if err == nil {
+			err = m.log.Force(lsn) // coordinator force #1
+		}
+		m.mu.Lock()
+		if m.families[f.id] != f {
+			return
+		}
+		if err != nil {
+			m.abortFamilyLocked(f)
+			return
+		}
+	}
+	f.ph = phPreparing
+	// Change 1: the prepare message carries the site list and the
+	// quorum sizes for the replication phase.
+	m.fanoutLocked(sortedSites(f.remoteSites), m.prepareMsgLocked(f), f.opts.Multicast)
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+}
+
+// onNBVote collects phase-one votes at the coordinator.
+func (m *Manager) onNBVote(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	if f == nil || !f.coord || f.ph != phPreparing || !f.opts.NonBlocking {
+		return
+	}
+	f.votes[msg.From] = msg.Vote
+	if msg.Vote == wire.VoteNo {
+		m.nbDecideAbortLocked(f)
+		return
+	}
+	for s := range f.remoteSites {
+		if _, ok := f.votes[s]; !ok {
+			return
+		}
+	}
+	m.nbBeginReplicationLocked(f)
+}
+
+// nbBeginReplicationLocked runs the replication phase (change 3): the
+// coordinator forces the collected decision information locally and
+// replicates it at enough subordinates to form a commit quorum.
+// Read-only sites "often need not participate": they are enlisted
+// only if the update sites alone cannot reach the quorum.
+func (m *Manager) nbBeginReplicationLocked(f *family) {
+	allReadOnly := f.localVote == wire.VoteReadOnly
+	f.nbVotes = f.nbVotes[:0]
+	for _, s := range f.nbSites {
+		v := f.votes[s]
+		f.nbVotes = append(f.nbVotes, wire.SiteVote{Site: s, Vote: v})
+		if s != m.cfg.Site && v == wire.VoteYes {
+			f.updateSubs[s] = true
+			allReadOnly = false
+		}
+	}
+	if allReadOnly && !f.opts.DisableReadOnlyOpt {
+		// Completely read-only: same critical path as two-phase
+		// commit — no replication or notify phase, no log writes.
+		f.ph = phCommitted
+		m.stats.Committed++
+		f.result.Set(wire.OutcomeCommit)
+		m.releaseLocalLocked(f, true)
+		m.forgetLocked(f)
+		return
+	}
+
+	// Pick replication targets: update subordinates first, read-only
+	// subordinates only as quorum filler.
+	for s := range f.updateSubs {
+		f.replTargets[s] = true
+	}
+	for _, s := range f.nbSites {
+		if len(f.replTargets)+1 >= f.commitQuorum { // +1: the coordinator's own record
+			break
+		}
+		if s != m.cfg.Site && !f.replTargets[s] {
+			f.replTargets[s] = true
+		}
+	}
+
+	rec := &wal.Record{
+		Type:         wal.RecNBReplicate,
+		TID:          tid.Top(f.id),
+		Coordinator:  m.cfg.Site,
+		Sites:        f.nbSites,
+		CommitQuorum: uint16(f.commitQuorum),
+		AbortQuorum:  uint16(f.abortQuorum),
+		Votes:        f.nbVotes,
+	}
+	m.mu.Unlock()
+	lsn, err := m.log.Append(rec)
+	if err == nil {
+		err = m.log.Force(lsn) // coordinator force #2
+	}
+	m.mu.Lock()
+	if m.families[f.id] != f {
+		return
+	}
+	if err != nil {
+		m.nbDecideAbortLocked(f)
+		return
+	}
+	f.nbState = wire.NBReplicated
+	f.replAcks[m.cfg.Site] = true
+	f.ph = phReplicating
+	f.attempts = 0
+	m.fanoutLocked(sortedSites(f.replTargets), m.replicateMsgLocked(f), f.opts.Multicast)
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.nbCheckCommitQuorumLocked(f)
+}
+
+// onNBReplicateAck counts replication-phase acknowledgements.
+func (m *Manager) onNBReplicateAck(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	if f == nil || f.ph != phReplicating {
+		return
+	}
+	f.replAcks[msg.From] = true
+	m.nbCheckCommitQuorumLocked(f)
+}
+
+// nbCheckCommitQuorumLocked commits once the replicated information
+// excludes abort: "the atomic action that marks the commitment point
+// of the protocol is the writing of a log record that forms a commit
+// quorum."
+func (m *Manager) nbCheckCommitQuorumLocked(f *family) {
+	if f.ph != phReplicating || len(f.replAcks) < f.commitQuorum {
+		return
+	}
+	f.ph = phCommitted
+	m.stats.Committed++
+	// The outcome is now decided; the local commit record may be lazy
+	// because any recovery can reconstruct the decision from the
+	// replicated quorum.
+	m.log.Append(&wal.Record{Type: wal.RecCommit, TID: tid.Top(f.id)}) //nolint:errcheck // lazy by design
+	if f.result != nil {
+		f.result.Set(wire.OutcomeCommit)
+	}
+	// Notify phase. Read-only sites that were not replication targets
+	// have already released and forgotten.
+	for s := range f.updateSubs {
+		f.acksPending[s] = true
+	}
+	for s := range f.replTargets {
+		f.acksPending[s] = true
+	}
+	m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
+	m.releaseLocalLocked(f, true)
+	if len(f.acksPending) == 0 {
+		m.endLocked(f)
+		return
+	}
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+}
+
+// nbDecideAbortLocked aborts before any commit quorum can exist (a No
+// vote or a failed force): no site can hold a replicated commit
+// intent, so notifying abort is safe.
+func (m *Manager) nbDecideAbortLocked(f *family) {
+	f.ph = phAborted
+	m.stats.Aborted++
+	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy
+	if f.result != nil {
+		f.result.Set(wire.OutcomeAbort)
+	}
+	for s := range f.remoteSites {
+		if v, ok := f.votes[s]; ok && (v == wire.VoteNo || v == wire.VoteReadOnly) {
+			continue
+		}
+		f.acksPending[s] = true
+	}
+	m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
+	m.releaseLocalLocked(f, false)
+	// Change 4: even for abort, no transaction manager forgets until
+	// every site has the outcome.
+	if len(f.acksPending) == 0 {
+		m.endLocked(f)
+		return
+	}
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+}
+
+// --- subordinate side ---
+
+// onNBPrepare handles phase one at a non-blocking subordinate.
+func (m *Manager) onNBPrepare(msg *wire.Msg) {
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.mu.Unlock()
+		return
+	}
+	if f.ph == phPrepared || f.ph == phReplicated {
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteYes})
+		m.mu.Unlock()
+		return
+	}
+	if f.ph != phActive {
+		m.mu.Unlock()
+		return
+	}
+	f.opts = optionsFromFlags(msg.Flags)
+	f.opts.NonBlocking = true
+	f.nbSites = msg.Sites
+	f.commitQuorum = int(msg.CommitQuorum)
+	f.abortQuorum = int(msg.AbortQuorum)
+	parts := m.participantsLocked(f)
+	m.mu.Unlock()
+
+	vote := m.voteRound(parts, f.opts)
+	switch vote {
+	case wire.VoteNo:
+		m.mu.Lock()
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.localAbortLocked(f)
+		m.mu.Unlock()
+	case wire.VoteReadOnly:
+		// "A read-only subordinate typically writes no log records
+		// and exchanges only one round of messages."
+		m.mu.Lock()
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteReadOnly})
+		f.ph = phCommitted
+		m.releaseLocalLocked(f, true)
+		m.forgetLocked(f)
+		m.mu.Unlock()
+	default:
+		rec := &wal.Record{
+			Type:         wal.RecPrepare,
+			TID:          msg.TID,
+			Coordinator:  msg.From,
+			Sites:        msg.Sites,
+			CommitQuorum: msg.CommitQuorum,
+			AbortQuorum:  msg.AbortQuorum,
+		}
+		lsn, err := m.log.Append(rec)
+		if err == nil {
+			err = m.log.Force(lsn) // subordinate force #1
+		}
+		m.mu.Lock()
+		if m.families[f.id] != f {
+			m.mu.Unlock()
+			return
+		}
+		if err != nil {
+			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
+			m.localAbortLocked(f)
+			m.mu.Unlock()
+			return
+		}
+		f.ph = phPrepared
+		f.prepared = true
+		f.nbState = wire.NBPrepared
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteYes})
+		// Change 2: do not wait forever — time out and take over.
+		m.scheduleLocked(f, m.cfg.PromotionTimeout)
+		m.mu.Unlock()
+	}
+}
+
+// onNBReplicate handles the replication phase at a subordinate: force
+// the decision information, just as a prepare record is forced.
+func (m *Manager) onNBReplicate(msg *wire.Msg) {
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		// A read-only site enlisted as quorum filler (it voted
+		// read-only and forgot, or never joined): record the intent
+		// anyway — it holds no locks but its log strengthens the
+		// quorum.
+		f = m.newFamilyLocked(msg.TID.Family)
+		f.opts.NonBlocking = true
+	}
+	if f.nbState == wire.NBAbortIntent {
+		// Change 4: a site may not join both quorums.
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID, State: f.nbState})
+		m.mu.Unlock()
+		return
+	}
+	if f.nbState == wire.NBReplicated || f.ph == phReplicated {
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBReplicateAck, TID: msg.TID})
+		m.mu.Unlock()
+		return
+	}
+	f.nbSites = msg.Sites
+	f.commitQuorum = int(msg.CommitQuorum)
+	f.abortQuorum = int(msg.AbortQuorum)
+	f.nbVotes = msg.Votes
+	rec := &wal.Record{
+		Type:         wal.RecNBReplicate,
+		TID:          msg.TID,
+		Coordinator:  msg.From,
+		Sites:        msg.Sites,
+		CommitQuorum: msg.CommitQuorum,
+		AbortQuorum:  msg.AbortQuorum,
+		Votes:        msg.Votes,
+	}
+	m.mu.Unlock()
+	lsn, err := m.log.Append(rec)
+	if err == nil {
+		err = m.log.Force(lsn) // subordinate force #2
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.families[f.id] != f || err != nil {
+		return
+	}
+	f.ph = phReplicated
+	f.nbState = wire.NBReplicated
+	m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBReplicateAck, TID: msg.TID})
+	m.scheduleLocked(f, m.cfg.PromotionTimeout)
+}
+
+// onNBOutcome applies the notify-phase decision at a subordinate (or
+// at a tardy original coordinator when a promoted subordinate decided
+// first — "having several simultaneous coordinators is possible, but
+// is not a problem").
+func (m *Manager) onNBOutcome(msg *wire.Msg) {
+	commit := msg.Outcome == wire.OutcomeCommit
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		// Already resolved; re-acknowledge so the sender can forget.
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
+		m.mu.Unlock()
+		return
+	}
+	if f.ph == phCommitted || f.ph == phAborted {
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
+		m.mu.Unlock()
+		return
+	}
+	parts := m.participantsLocked(f)
+	if commit {
+		f.ph = phCommitted
+	} else {
+		f.ph = phAborted
+		m.stats.Aborted++
+	}
+	if f.result != nil {
+		// We were a coordinator (original or promoted) with a waiting
+		// client.
+		if commit {
+			f.result.Set(wire.OutcomeCommit)
+		} else {
+			f.result.Set(wire.OutcomeAbort)
+		}
+	}
+	recType := wal.RecCommit
+	if !commit {
+		recType = wal.RecAbort
+	}
+	m.log.Append(&wal.Record{Type: recType, TID: msg.TID}) //nolint:errcheck // lazy
+	m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
+	m.forgetLocked(f)
+	m.mu.Unlock()
+	m.applyLocal(parts, msg.TID.Family, commit)
+}
+
+// onNBOutcomeAck drains the notify phase at whichever coordinator is
+// driving it.
+func (m *Manager) onNBOutcomeAck(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	if f == nil || (f.ph != phCommitted && f.ph != phAborted) {
+		return
+	}
+	delete(f.acksPending, msg.From)
+	if len(f.acksPending) == 0 {
+		m.endLocked(f)
+	}
+}

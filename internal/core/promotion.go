@@ -1,0 +1,289 @@
+package core
+
+import (
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// This file implements change 2 of §3.3: a non-blocking subordinate
+// that times out waiting for the commit/abort notice becomes a
+// coordinator. It gathers every site's protocol state; any site
+// already committed or aborted settles the outcome; a commit quorum
+// of replicated intent records settles commit; otherwise it solicits
+// abort-intent records until an abort quorum forms. A site that has
+// written a replicated commit intent never joins the abort quorum
+// (change 4), so the intersecting quorums exclude split decisions
+// even with several simultaneous coordinators.
+
+// promoteLocked turns this stalled subordinate into a coordinator.
+func (m *Manager) promoteLocked(f *family) {
+	if !f.promoted {
+		f.promoted = true
+		m.stats.Promotions++
+		f.statusResp = map[tid.SiteID]wire.NBState{m.cfg.Site: f.nbState}
+		f.abortIntents = make(map[tid.SiteID]bool)
+		if f.nbState == wire.NBAbortIntent {
+			f.abortIntents[m.cfg.Site] = true
+		}
+	}
+	m.promotionSweepLocked(f)
+}
+
+// promotionSweepLocked (re)broadcasts the status inquiry and re-arms
+// the retry timer.
+func (m *Manager) promotionSweepLocked(f *family) {
+	if f.ph == phCommitted || f.ph == phAborted {
+		// Outcome already driven; keep pushing it to laggards.
+		if len(f.acksPending) > 0 {
+			m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
+			m.scheduleLocked(f, m.cfg.RetryInterval)
+		}
+		return
+	}
+	var others []tid.SiteID
+	for _, s := range f.nbSites {
+		if s != m.cfg.Site {
+			others = append(others, s)
+		}
+	}
+	m.fanoutLocked(others, &wire.Msg{Kind: wire.KNBStatusReq, TID: tid.Top(f.id)}, f.opts.Multicast)
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+}
+
+// onNBStatusReq reports this site's position in the protocol to a
+// promoted coordinator. Any site may be asked, including the
+// original coordinator.
+func (m *Manager) onNBStatusReq(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	resp := &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID}
+	if f == nil {
+		// Forgotten families still have a remembered outcome; only a
+		// transaction this site truly never resolved is UNKNOWN.
+		switch m.resolved[msg.TID.Family] {
+		case wire.OutcomeCommit:
+			resp.State = wire.NBCommitted
+		case wire.OutcomeAbort:
+			resp.State = wire.NBAborted
+		default:
+			resp.State = wire.NBUnknown
+		}
+	} else {
+		switch f.ph {
+		case phCommitted:
+			resp.State = wire.NBCommitted
+		case phAborted:
+			resp.State = wire.NBAborted
+		default:
+			resp.State = f.nbState
+			if resp.State == wire.NBUnknown && f.prepared {
+				resp.State = wire.NBPrepared
+			}
+		}
+		resp.Votes = f.nbVotes
+		resp.Sites = f.nbSites
+	}
+	m.sendLocked(msg.From, resp)
+}
+
+// onNBStatusResp collects states at a promoted coordinator and
+// re-evaluates the decision rules.
+func (m *Manager) onNBStatusResp(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	if f == nil || !f.promoted || f.ph == phCommitted || f.ph == phAborted {
+		return
+	}
+	f.statusResp[msg.From] = msg.State
+	if len(f.nbVotes) == 0 && len(msg.Votes) > 0 {
+		f.nbVotes = msg.Votes
+	}
+	if len(f.nbSites) == 0 && len(msg.Sites) > 0 {
+		f.nbSites = msg.Sites
+	}
+	if msg.State == wire.NBAbortIntent {
+		f.abortIntents[msg.From] = true
+	}
+	m.evaluatePromotionLocked(f)
+}
+
+// evaluatePromotionLocked applies the quorum-consensus decision rules.
+func (m *Manager) evaluatePromotionLocked(f *family) {
+	replicated, anyCommitted, anyAborted := 0, false, false
+	for _, st := range f.statusResp {
+		switch st {
+		case wire.NBCommitted:
+			anyCommitted = true
+		case wire.NBAborted:
+			anyAborted = true
+		case wire.NBReplicated:
+			replicated++
+		}
+	}
+	switch {
+	case anyCommitted:
+		m.driveOutcomeLocked(f, wire.OutcomeCommit)
+	case anyAborted:
+		m.driveOutcomeLocked(f, wire.OutcomeAbort)
+	case replicated >= f.commitQuorum:
+		// The commit intent is replicated widely enough to exclude
+		// abort: the decision is commit.
+		m.driveOutcomeLocked(f, wire.OutcomeCommit)
+	case len(f.abortIntents) >= f.abortQuorum:
+		m.driveOutcomeLocked(f, wire.OutcomeAbort)
+	default:
+		m.solicitAbortIntentsLocked(f)
+	}
+}
+
+// solicitAbortIntentsLocked tries to assemble an abort quorum from
+// sites that have not written a commit intent. With two or more
+// failures no quorum may form and every surviving site stays blocked
+// — "it is impossible to do better."
+func (m *Manager) solicitAbortIntentsLocked(f *family) {
+	// Write our own abort-intent record first (once).
+	if f.nbState == wire.NBPrepared && !f.abortIntents[m.cfg.Site] {
+		rec := &wal.Record{Type: wal.RecNBAbortIntent, TID: tid.Top(f.id), Sites: f.nbSites}
+		m.mu.Unlock()
+		lsn, err := m.log.Append(rec)
+		if err == nil {
+			err = m.log.Force(lsn)
+		}
+		m.mu.Lock()
+		if m.families[f.id] != f {
+			return
+		}
+		if err == nil {
+			f.nbState = wire.NBAbortIntent
+			f.abortIntents[m.cfg.Site] = true
+			f.statusResp[m.cfg.Site] = wire.NBAbortIntent
+		}
+		if len(f.abortIntents) >= f.abortQuorum {
+			m.driveOutcomeLocked(f, wire.OutcomeAbort)
+			return
+		}
+	}
+	var targets []tid.SiteID
+	for _, s := range f.nbSites {
+		if s == m.cfg.Site || f.abortIntents[s] {
+			continue
+		}
+		switch f.statusResp[s] {
+		case wire.NBReplicated, wire.NBCommitted, wire.NBAborted:
+			// May not or need not join the abort quorum.
+		default:
+			targets = append(targets, s)
+		}
+	}
+	m.fanoutLocked(targets, &wire.Msg{Kind: wire.KNBAbortIntent, TID: tid.Top(f.id)}, f.opts.Multicast)
+}
+
+// onNBAbortIntent asks this site to pledge abort. Refused if we hold
+// a replicated commit intent (change 4).
+func (m *Manager) onNBAbortIntent(msg *wire.Msg) {
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		// A forgotten-but-resolved transaction must answer from its
+		// remembered outcome: a committed site may never pledge abort
+		// (change 4), and an aborted one can just re-acknowledge.
+		switch m.resolved[msg.TID.Family] {
+		case wire.OutcomeCommit:
+			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID,
+				State: wire.NBCommitted})
+			m.mu.Unlock()
+			return
+		case wire.OutcomeAbort:
+			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
+			m.mu.Unlock()
+			return
+		}
+		// Truly unknown: we hold no commit intent, so pledging abort
+		// is safe (and consistent with presumed abort).
+		f = m.newFamilyLocked(msg.TID.Family)
+		f.opts.NonBlocking = true
+	}
+	switch {
+	case f.ph == phAborted || f.nbState == wire.NBAbortIntent:
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
+		m.mu.Unlock()
+		return
+	case f.nbState == wire.NBReplicated || f.ph == phCommitted || f.ph == phReplicated:
+		// Already in (or past) the commit quorum: refuse by reporting
+		// state instead of acknowledging.
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID,
+			State: wire.NBReplicated, Votes: f.nbVotes, Sites: f.nbSites})
+		m.mu.Unlock()
+		return
+	}
+	rec := &wal.Record{Type: wal.RecNBAbortIntent, TID: msg.TID, Sites: f.nbSites}
+	m.mu.Unlock()
+	lsn, err := m.log.Append(rec)
+	if err == nil {
+		err = m.log.Force(lsn)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.families[f.id] != f || err != nil {
+		return
+	}
+	f.nbState = wire.NBAbortIntent
+	m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
+}
+
+// onNBAbortIntentAck counts pledges at the soliciting coordinator.
+func (m *Manager) onNBAbortIntentAck(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	if f == nil || !f.promoted || f.ph == phCommitted || f.ph == phAborted {
+		return
+	}
+	f.abortIntents[msg.From] = true
+	f.statusResp[msg.From] = wire.NBAbortIntent
+	if len(f.abortIntents) >= f.abortQuorum {
+		m.driveOutcomeLocked(f, wire.OutcomeAbort)
+	}
+}
+
+// driveOutcomeLocked finishes the transaction as (possibly one of
+// several) coordinator: apply locally, notify every other site, and
+// keep retrying until all acknowledge.
+func (m *Manager) driveOutcomeLocked(f *family, outcome wire.Outcome) {
+	commit := outcome == wire.OutcomeCommit
+	if commit {
+		f.ph = phCommitted
+		m.stats.Committed++
+	} else {
+		f.ph = phAborted
+		m.stats.Aborted++
+	}
+	recType := wal.RecCommit
+	if !commit {
+		recType = wal.RecAbort
+	}
+	m.log.Append(&wal.Record{Type: recType, TID: tid.Top(f.id)}) //nolint:errcheck // decision is quorum-durable
+	if f.result != nil {
+		if commit {
+			f.result.Set(wire.OutcomeCommit)
+		} else {
+			f.result.Set(wire.OutcomeAbort)
+		}
+	}
+	m.releaseLocalLocked(f, commit)
+	f.acksPending = make(map[tid.SiteID]bool)
+	for _, s := range f.nbSites {
+		if s != m.cfg.Site {
+			f.acksPending[s] = true
+		}
+	}
+	m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
+	if len(f.acksPending) == 0 {
+		m.endLocked(f)
+		return
+	}
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"camelot/internal/server"
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// Restore entry points used by the recovery process (internal/recman)
+// to rebuild transaction-manager state from the log after a crash.
+
+// RestorePreparedSub recreates a subordinate that crashed while
+// prepared: it holds its (re-acquired) locks and immediately resumes
+// the protocol that will resolve it — presumed-abort inquiry for
+// two-phase commit, a promotion sweep for the non-blocking protocol.
+func (m *Manager) RestorePreparedSub(t tid.TID, coordinator tid.SiteID, nb bool,
+	sites []tid.SiteID, commitQuorum, abortQuorum int, replicated bool,
+	votes []wire.SiteVote, parts []server.Participant) {
+
+	m.queue.Put(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		f := m.families[t.Family]
+		if f == nil {
+			f = m.newFamilyLocked(t.Family)
+		}
+		f.prepared = true
+		f.opts.NonBlocking = nb
+		for _, p := range parts {
+			f.participants[p.Name()] = p
+		}
+		if nb {
+			f.nbSites = sites
+			f.commitQuorum = commitQuorum
+			f.abortQuorum = abortQuorum
+			f.nbVotes = votes
+			if replicated {
+				f.ph = phReplicated
+				f.nbState = wire.NBReplicated
+			} else {
+				f.ph = phPrepared
+				f.nbState = wire.NBPrepared
+			}
+			// Resume by promotion: the coordinator may be long gone.
+			m.promoteLocked(f)
+			return
+		}
+		f.ph = phPrepared
+		// Two-phase commit blocks here until the coordinator answers:
+		// ask immediately and keep asking.
+		m.stats.Inquiries++
+		m.sendLocked(coordinator, &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+		m.scheduleLocked(f, m.cfg.InquireInterval)
+	})
+}
+
+// RestoreCommittedCoordinator recreates a coordinator that crashed
+// after its commit point but before every subordinate acknowledged:
+// it must keep re-sending COMMIT until the remaining acks arrive,
+// because "the coordinator must not forget about the transaction
+// before the subordinate writes its own commit record."
+func (m *Manager) RestoreCommittedCoordinator(t tid.TID, updateSubs []tid.SiteID, nb bool) {
+	m.queue.Put(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		f := m.families[t.Family]
+		if f == nil {
+			f = m.newFamilyLocked(t.Family)
+		}
+		f.coord = true
+		f.ph = phCommitted
+		f.opts.NonBlocking = nb
+		if nb {
+			f.nbSites = append([]tid.SiteID{m.cfg.Site}, updateSubs...)
+		}
+		for _, s := range updateSubs {
+			f.acksPending[s] = true
+			f.updateSubs[s] = true
+		}
+		if len(f.acksPending) == 0 {
+			m.endLocked(f)
+			return
+		}
+		m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), false)
+		m.scheduleLocked(f, m.cfg.RetryInterval)
+	})
+}
+
+// RestoreNBCoordinator recreates a non-blocking coordinator that
+// crashed mid-protocol (prepared or replicated, no outcome). Rather
+// than guess where phase one stood, it resumes through the promotion
+// path, which is safe from any state.
+func (m *Manager) RestoreNBCoordinator(t tid.TID, sites []tid.SiteID,
+	commitQuorum, abortQuorum int, replicated bool, votes []wire.SiteVote,
+	parts []server.Participant) {
+
+	m.queue.Put(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		f := m.families[t.Family]
+		if f == nil {
+			f = m.newFamilyLocked(t.Family)
+		}
+		f.coord = true
+		f.opts.NonBlocking = true
+		f.nbSites = sites
+		f.commitQuorum = commitQuorum
+		f.abortQuorum = abortQuorum
+		f.nbVotes = votes
+		for _, p := range parts {
+			f.participants[p.Name()] = p
+		}
+		if replicated {
+			f.ph = phReplicated
+			f.nbState = wire.NBReplicated
+		} else {
+			f.ph = phPrepared
+			f.nbState = wire.NBPrepared
+		}
+		m.promoteLocked(f)
+	})
+}

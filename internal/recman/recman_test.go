@@ -1,0 +1,244 @@
+package recman
+
+import (
+	"testing"
+
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+func top(n uint32) tid.TID       { return tid.Top(tid.MakeFamily(1, n)) }
+func remoteTop(n uint32) tid.TID { return tid.Top(tid.MakeFamily(9, n)) }
+func upd(t tid.TID, key, old, new_ string) *wal.Record {
+	r := &wal.Record{Type: wal.RecUpdate, TID: t, Server: "srv", Key: key, New: []byte(new_)}
+	if old != "" {
+		r.Old = []byte(old)
+	}
+	return r
+}
+
+func TestCommittedUpdatesAreRedone(t *testing.T) {
+	recs := []*wal.Record{
+		upd(top(1), "a", "", "1"),
+		upd(top(1), "b", "", "2"),
+		{Type: wal.RecCommit, TID: top(1)},
+	}
+	a := Analyze(1, recs)
+	if string(a.Data["srv"]["a"]) != "1" || string(a.Data["srv"]["b"]) != "2" {
+		t.Fatalf("Data = %v", a.Data)
+	}
+	if len(a.InDoubt) != 0 {
+		t.Fatalf("InDoubt = %v, want none", a.InDoubt)
+	}
+}
+
+func TestUncommittedUpdatesArePresumedAborted(t *testing.T) {
+	recs := []*wal.Record{
+		upd(top(1), "a", "", "1"), // no outcome record at all
+	}
+	a := Analyze(1, recs)
+	if len(a.Data["srv"]) != 0 {
+		t.Fatalf("loser's update redone: %v", a.Data)
+	}
+}
+
+func TestExplicitAbortDiscardsUpdates(t *testing.T) {
+	recs := []*wal.Record{
+		upd(top(1), "a", "", "1"),
+		{Type: wal.RecAbort, TID: top(1)},
+	}
+	a := Analyze(1, recs)
+	if len(a.Data["srv"]) != 0 {
+		t.Fatalf("aborted update redone: %v", a.Data)
+	}
+	if !a.Aborted[top(1)] {
+		t.Error("abort not recorded")
+	}
+}
+
+func TestLastWriterWinsInLSNOrder(t *testing.T) {
+	recs := []*wal.Record{
+		upd(top(1), "a", "", "1"),
+		{Type: wal.RecCommit, TID: top(1)},
+		upd(top(2), "a", "1", "2"),
+		{Type: wal.RecCommit, TID: top(2)},
+	}
+	a := Analyze(1, recs)
+	if string(a.Data["srv"]["a"]) != "2" {
+		t.Fatalf("a = %q, want \"2\"", a.Data["srv"]["a"])
+	}
+}
+
+func TestPreparedTransactionIsInDoubt(t *testing.T) {
+	txn := remoteTop(1) // coordinated elsewhere
+	recs := []*wal.Record{
+		upd(txn, "a", "old", "new"),
+		{Type: wal.RecPrepare, TID: txn, Coordinator: 9},
+	}
+	a := Analyze(1, recs)
+	if len(a.InDoubt) != 1 {
+		t.Fatalf("InDoubt = %v, want 1 entry", a.InDoubt)
+	}
+	d := a.InDoubt[0]
+	if d.TID != txn || d.Coordinator != 9 || d.NonBlocking {
+		t.Fatalf("InDoubt = %+v", d)
+	}
+	if len(d.Updates["srv"]) != 1 || d.Updates["srv"][0].Key != "a" {
+		t.Fatalf("in-doubt updates = %v", d.Updates)
+	}
+	// In-doubt data must NOT be in the committed image.
+	if len(a.Data["srv"]) != 0 {
+		t.Fatalf("in-doubt update leaked into Data: %v", a.Data)
+	}
+}
+
+func TestPreparedThenCommittedIsNotInDoubt(t *testing.T) {
+	txn := remoteTop(1)
+	recs := []*wal.Record{
+		upd(txn, "a", "", "v"),
+		{Type: wal.RecPrepare, TID: txn, Coordinator: 9},
+		{Type: wal.RecCommit, TID: txn},
+	}
+	a := Analyze(1, recs)
+	if len(a.InDoubt) != 0 {
+		t.Fatalf("resolved transaction still in doubt: %v", a.InDoubt)
+	}
+	if string(a.Data["srv"]["a"]) != "v" {
+		t.Fatalf("committed update not redone")
+	}
+}
+
+func TestNonBlockingInDoubtCarriesQuorumState(t *testing.T) {
+	txn := remoteTop(2)
+	sites := []tid.SiteID{1, 2, 9}
+	votes := []wire.SiteVote{{Site: 1, Vote: wire.VoteYes}, {Site: 2, Vote: wire.VoteYes}}
+	recs := []*wal.Record{
+		upd(txn, "a", "", "v"),
+		{Type: wal.RecPrepare, TID: txn, Coordinator: 9, Sites: sites, CommitQuorum: 2, AbortQuorum: 2},
+		{Type: wal.RecNBReplicate, TID: txn, Coordinator: 9, Sites: sites, CommitQuorum: 2, AbortQuorum: 2, Votes: votes},
+	}
+	a := Analyze(1, recs)
+	if len(a.InDoubt) != 1 {
+		t.Fatalf("InDoubt = %v", a.InDoubt)
+	}
+	d := a.InDoubt[0]
+	if !d.NonBlocking || !d.Replicated {
+		t.Fatalf("InDoubt flags = %+v", d)
+	}
+	if d.CommitQuorum != 2 || d.AbortQuorum != 2 || len(d.Sites) != 3 {
+		t.Fatalf("quorum state = %+v", d)
+	}
+	if len(d.Votes) != 2 {
+		t.Fatalf("votes = %v", d.Votes)
+	}
+}
+
+func TestAbortIntentRecorded(t *testing.T) {
+	txn := remoteTop(3)
+	recs := []*wal.Record{
+		{Type: wal.RecPrepare, TID: txn, Coordinator: 9, Sites: []tid.SiteID{1, 9}, CommitQuorum: 2, AbortQuorum: 1},
+		{Type: wal.RecNBAbortIntent, TID: txn},
+	}
+	a := Analyze(1, recs)
+	if len(a.InDoubt) != 1 || !a.InDoubt[0].AbortIntent {
+		t.Fatalf("abort intent lost: %+v", a.InDoubt)
+	}
+}
+
+func TestCoordinatorResumeWithoutEnd(t *testing.T) {
+	txn := top(1) // our own family: we coordinated
+	recs := []*wal.Record{
+		upd(txn, "a", "", "v"),
+		{Type: wal.RecCommit, TID: txn, Sites: []tid.SiteID{2, 3}},
+	}
+	a := Analyze(1, recs)
+	if len(a.Resume) != 1 {
+		t.Fatalf("Resume = %v, want 1", a.Resume)
+	}
+	r := a.Resume[0]
+	if r.TID != txn || len(r.UpdateSubs) != 2 {
+		t.Fatalf("Resume = %+v", r)
+	}
+}
+
+func TestCoordinatorNoResumeAfterEnd(t *testing.T) {
+	txn := top(1)
+	recs := []*wal.Record{
+		{Type: wal.RecCommit, TID: txn, Sites: []tid.SiteID{2}},
+		{Type: wal.RecEnd, TID: txn},
+	}
+	a := Analyze(1, recs)
+	if len(a.Resume) != 0 {
+		t.Fatalf("Resume after END: %v", a.Resume)
+	}
+}
+
+func TestLocalOnlyCommitNeedsNoResume(t *testing.T) {
+	recs := []*wal.Record{
+		upd(top(1), "a", "", "v"),
+		{Type: wal.RecCommit, TID: top(1)}, // no subordinate sites
+	}
+	a := Analyze(1, recs)
+	if len(a.Resume) != 0 {
+		t.Fatalf("local-only commit scheduled a resume: %v", a.Resume)
+	}
+}
+
+func TestAbortedChildSubtreeExcluded(t *testing.T) {
+	parent := top(1)
+	child := tid.TID{Family: parent.Family, Seq: tid.MakeSeq(1, 1)}
+	grand := tid.TID{Family: parent.Family, Seq: tid.MakeSeq(1, 2)}
+	recs := []*wal.Record{
+		upd(parent, "p", "", "1"),
+		{Type: wal.RecUpdate, TID: child, Parent: parent, Server: "srv", Key: "c", New: []byte("2")},
+		{Type: wal.RecUpdate, TID: grand, Parent: child, Server: "srv", Key: "g", New: []byte("3")},
+		{Type: wal.RecAbort, TID: child}, // nested abort
+		{Type: wal.RecCommit, TID: parent},
+	}
+	a := Analyze(1, recs)
+	data := a.Data["srv"]
+	if string(data["p"]) != "1" {
+		t.Errorf("parent update lost: %v", data)
+	}
+	if _, ok := data["c"]; ok {
+		t.Error("aborted child's update redone")
+	}
+	if _, ok := data["g"]; ok {
+		t.Error("aborted child's descendant update redone")
+	}
+}
+
+func TestCommittedChildIncludedWithFamily(t *testing.T) {
+	parent := top(1)
+	child := tid.TID{Family: parent.Family, Seq: tid.MakeSeq(1, 1)}
+	recs := []*wal.Record{
+		{Type: wal.RecUpdate, TID: child, Parent: parent, Server: "srv", Key: "c", New: []byte("2")},
+		{Type: wal.RecCommit, TID: parent},
+	}
+	a := Analyze(1, recs)
+	if string(a.Data["srv"]["c"]) != "2" {
+		t.Fatalf("committed child's update not redone: %v", a.Data)
+	}
+}
+
+func TestDeleteRedo(t *testing.T) {
+	recs := []*wal.Record{
+		upd(top(1), "a", "", "v"),
+		{Type: wal.RecCommit, TID: top(1)},
+		// A nil New models deletion.
+		{Type: wal.RecUpdate, TID: top(2), Server: "srv", Key: "a", Old: []byte("v")},
+		{Type: wal.RecCommit, TID: top(2)},
+	}
+	a := Analyze(1, recs)
+	if _, ok := a.Data["srv"]["a"]; ok {
+		t.Fatalf("deleted key present: %v", a.Data)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	a := Analyze(1, nil)
+	if len(a.Data) != 0 || len(a.InDoubt) != 0 || len(a.Resume) != 0 {
+		t.Fatalf("non-empty analysis of empty log: %+v", a)
+	}
+}

@@ -1,0 +1,80 @@
+package rt
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Real returns a Runtime backed by the ordinary Go runtime: wall
+// clock, goroutines, sync.Mutex, sync.Cond. Its epoch is the moment
+// Real is called.
+func Real() Runtime {
+	return &realRuntime{
+		epoch: time.Now(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+type realRuntime struct {
+	epoch time.Time
+	mu    sync.Mutex // guards rng: rand.Rand is not concurrency-safe
+	rng   *rand.Rand
+}
+
+func (r *realRuntime) Now() Time { return time.Since(r.epoch) }
+
+func (r *realRuntime) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+}
+
+func (r *realRuntime) Go(name string, fn func()) { go fn() }
+
+func (r *realRuntime) After(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+func (r *realRuntime) NewMutex() Mutex { return &sync.Mutex{} }
+
+func (r *realRuntime) NewCond(m Mutex) Cond {
+	return sync.NewCond(m.(sync.Locker))
+}
+
+// Rand returns a locked view of the runtime's random source.
+func (r *realRuntime) Rand() *rand.Rand {
+	// rand.New over a locked source keeps the shared generator safe
+	// for concurrent use by many threads.
+	return rand.New(&lockedSource{mu: &r.mu, src: r.rng})
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }
+
+// lockedSource adapts the shared *rand.Rand into a concurrency-safe
+// rand.Source64.
+type lockedSource struct {
+	mu  *sync.Mutex
+	src *rand.Rand
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}

@@ -1,0 +1,70 @@
+// Package rt defines the runtime abstraction that lets every Camelot
+// component run unchanged on either the real Go runtime or the
+// deterministic simulation kernel in internal/sim.
+//
+// The abstraction mirrors what the original Camelot transaction
+// manager took from Mach and the C-Threads package: a clock, thread
+// creation, mutexes, condition variables, and timers. Protocol code
+// is written in ordinary blocking style against these interfaces; in
+// simulation the "threads" are cooperatively scheduled goroutines on
+// a virtual clock, which makes latency experiments deterministic and
+// lets a three-hour wall-clock study run in milliseconds.
+package rt
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Time is an instant measured as an offset from the runtime's epoch
+// (process start for the real runtime, t=0 for simulation).
+type Time = time.Duration
+
+// Runtime is the set of primitives the transaction system needs from
+// its host. Implementations: realRuntime (this package) and
+// sim.Kernel.
+type Runtime interface {
+	// Now returns the current time relative to the runtime epoch.
+	Now() Time
+	// Sleep blocks the calling thread for d. Non-positive d yields
+	// without advancing time.
+	Sleep(d time.Duration)
+	// Go starts fn on a new thread. The name is used in traces and
+	// deadlock reports.
+	Go(name string, fn func())
+	// After schedules fn to run on its own thread after d. The
+	// returned timer may be stopped; Stop reports whether it
+	// prevented the call.
+	After(d time.Duration, fn func()) Timer
+	// NewMutex returns an unlocked mutex.
+	NewMutex() Mutex
+	// NewCond returns a condition variable bound to m.
+	NewCond(m Mutex) Cond
+	// Rand returns the runtime's random source. Simulation runtimes
+	// return a seeded deterministic source.
+	Rand() *rand.Rand
+}
+
+// Mutex is a purely exclusive lock, as in C-Threads.
+type Mutex interface {
+	Lock()
+	Unlock()
+}
+
+// Cond is a condition variable. Unlike sync.Cond, implementations
+// must not produce spurious wakeups in simulation, but callers should
+// still re-check their predicate in a loop.
+type Cond interface {
+	// Wait atomically releases the mutex and blocks until signaled,
+	// then reacquires the mutex before returning.
+	Wait()
+	Signal()
+	Broadcast()
+}
+
+// Timer is a cancellable pending call created by After.
+type Timer interface {
+	// Stop cancels the pending call and reports whether it fired
+	// neither before nor during the cancellation.
+	Stop() bool
+}

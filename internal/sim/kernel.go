@@ -1,0 +1,427 @@
+// Package sim provides a deterministic cooperative simulation kernel
+// implementing rt.Runtime on a virtual clock.
+//
+// Threads are ordinary goroutines, but exactly one runs at a time and
+// control passes between them and the kernel loop by channel handoff,
+// so execution is single-threaded, race-free, and — given a fixed
+// seed — bit-for-bit reproducible. Virtual time advances only when
+// every thread is blocked, jumping straight to the next timer or
+// message-delivery event. This is how the repository reproduces the
+// paper's millisecond-scale latency studies in microseconds of wall
+// time: each Camelot primitive (IPC, datagram, log force) is charged
+// as a virtual-time sleep with the cost from the paper's Table 2.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"camelot/internal/rt"
+)
+
+// Kernel is a deterministic virtual-time implementation of
+// rt.Runtime. Create one with New, start the initial thread with Go,
+// then call Run from the host goroutine.
+type Kernel struct {
+	now      time.Duration
+	seq      uint64
+	events   eventHeap
+	runq     []*proc
+	running  *proc
+	yielded  chan struct{}
+	rng      *rand.Rand
+	stopped  bool
+	inRun    bool
+	blocked  map[*proc]string // parked procs and why, for deadlock reports
+	parked   map[*proc]bool   // procs waiting on their resume channel
+	deadlock string           // report captured before shutdown cleanup
+}
+
+// New returns a kernel whose clock reads zero and whose random source
+// is seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+		blocked: make(map[*proc]string),
+		parked:  make(map[*proc]bool),
+	}
+}
+
+type proc struct {
+	name   string
+	resume chan resumeMode
+	dying  bool // set while the kill panic unwinds this thread's stack
+}
+
+type resumeMode int
+
+const (
+	resumeRun resumeMode = iota
+	resumeKill
+)
+
+// killed is the panic value used to unwind threads when the kernel
+// shuts down with work still parked.
+type killed struct{}
+
+type event struct {
+	at     time.Duration
+	seq    uint64
+	wake   *proc  // non-nil: move this proc to the run queue
+	spawn  func() // non-nil: run in a fresh proc
+	name   string
+	cancel bool
+	done   bool
+}
+
+// --- rt.Runtime implementation ---
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() rt.Time { return k.now }
+
+// Sleep parks the calling thread until virtual time advances by d.
+func (k *Kernel) Sleep(d time.Duration) {
+	p := k.mustRunning("Sleep")
+	if p == nil {
+		panic("sim: Sleep called from outside a simulated thread")
+	}
+	if p.dying {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, &event{wake: p, name: "sleep:" + p.name})
+	k.park(p, fmt.Sprintf("sleep %v", d))
+}
+
+// Go spawns fn as a new simulated thread. It may be called from
+// inside a thread or, before Run, from the host goroutine.
+func (k *Kernel) Go(name string, fn func()) {
+	if k.running != nil && k.running.dying {
+		return
+	}
+	p := &proc{name: name, resume: make(chan resumeMode, 1)}
+	go func() {
+		if m := <-p.resume; m == resumeKill {
+			k.yielded <- struct{}{}
+			return
+		}
+		// The yield-back to the kernel runs in a defer so it happens
+		// on every exit path: normal return, the kill panic, and
+		// runtime.Goexit (e.g. t.Fatal inside a simulated thread).
+		defer func() {
+			r := recover()
+			if r != nil {
+				if _, ok := r.(killed); !ok {
+					panic(r) // real panic: crash the test binary
+				}
+			}
+			k.running = nil
+			k.yielded <- struct{}{}
+		}()
+		fn()
+	}()
+	k.runq = append(k.runq, p)
+}
+
+// After schedules fn on a fresh thread once virtual time advances by d.
+func (k *Kernel) After(d time.Duration, fn func()) rt.Timer {
+	if k.running != nil && k.running.dying {
+		return simTimer{ev: &event{done: true}}
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{spawn: fn, name: "timer"}
+	k.schedule(k.now+d, ev)
+	return simTimer{ev: ev}
+}
+
+// NewMutex returns a purely exclusive virtual-time lock.
+func (k *Kernel) NewMutex() rt.Mutex { return &simMutex{k: k} }
+
+// NewCond returns a condition variable bound to m, which must have
+// been created by this kernel.
+func (k *Kernel) NewCond(m rt.Mutex) rt.Cond {
+	return &simCond{k: k, m: m.(*simMutex)}
+}
+
+// Rand returns the kernel's seeded deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// --- kernel loop ---
+
+// Run drives the simulation until no thread is runnable and no event
+// is pending, or Stop is called. It returns the virtual time at which
+// execution quiesced. If threads remain parked with no event that
+// could wake them, Run returns anyway; Deadlocked reports the stuck
+// threads.
+func (k *Kernel) Run() time.Duration { return k.RunUntil(-1) }
+
+// RunUntil is Run with a virtual-time horizon: events scheduled after
+// limit are not dispatched (limit < 0 means no horizon). Threads
+// still parked at shutdown are unwound so their goroutines exit.
+func (k *Kernel) RunUntil(limit time.Duration) time.Duration {
+	k.inRun = true
+	defer func() { k.inRun = false }()
+	quiesced := false
+	for !k.stopped {
+		if len(k.runq) > 0 {
+			p := k.runq[0]
+			copy(k.runq, k.runq[1:])
+			k.runq = k.runq[:len(k.runq)-1]
+			k.running = p
+			delete(k.blocked, p)
+			delete(k.parked, p)
+			p.resume <- resumeRun
+			<-k.yielded
+			continue
+		}
+		ev, ok := k.nextEvent()
+		if !ok {
+			quiesced = true // nothing runnable and no event can ever wake anyone
+			break
+		}
+		if limit >= 0 && ev.at > limit {
+			k.now = limit
+			break
+		}
+		k.now = ev.at
+		k.dispatch(ev)
+	}
+	if quiesced && !k.stopped && len(k.blocked) > 0 {
+		k.deadlock = k.describeBlocked()
+	}
+	k.killParked()
+	return k.now
+}
+
+// Stop requests that the kernel loop exit after the current thread
+// yields. It may only be called from inside a simulated thread.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Deadlocked returns a description of threads that were parked with
+// nothing to wake them when Run returned, or "" if execution quiesced
+// cleanly. Valid after Run.
+func (k *Kernel) Deadlocked() string { return k.deadlock }
+
+func (k *Kernel) describeBlocked() string {
+	var lines []string
+	for p, why := range k.blocked {
+		lines = append(lines, fmt.Sprintf("  %s: %s", p.name, why))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("sim: %d thread(s) deadlocked at t=%v:\n%s",
+		len(k.blocked), k.now, strings.Join(lines, "\n"))
+}
+
+func (k *Kernel) nextEvent() (*event, bool) {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.cancel {
+			continue
+		}
+		return ev, true
+	}
+	return nil, false
+}
+
+func (k *Kernel) dispatch(ev *event) {
+	ev.done = true
+	switch {
+	case ev.wake != nil:
+		k.makeRunnable(ev.wake)
+	case ev.spawn != nil:
+		k.Go(ev.name, ev.spawn)
+	}
+}
+
+// killParked unwinds every parked or runnable thread so its goroutine
+// exits; called once the loop is over so repeated simulations in one
+// test binary do not leak goroutines.
+func (k *Kernel) killParked() {
+	for _, p := range k.runq {
+		delete(k.parked, p)
+		delete(k.blocked, p)
+		k.kill(p)
+	}
+	k.runq = nil
+	for p := range k.parked {
+		delete(k.parked, p)
+		delete(k.blocked, p)
+		k.kill(p)
+	}
+}
+
+func (k *Kernel) kill(p *proc) {
+	p.resume <- resumeKill
+	<-k.yielded
+}
+
+func (k *Kernel) schedule(at time.Duration, ev *event) {
+	ev.at = at
+	ev.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, ev)
+}
+
+func (k *Kernel) makeRunnable(p *proc) {
+	delete(k.blocked, p)
+	k.runq = append(k.runq, p)
+}
+
+// park blocks the calling thread until something makes it runnable.
+// The caller must already have arranged its wakeup (timer event,
+// mutex waiter list, cond waiter list). If the kernel is shutting
+// down, park unwinds the thread's stack; primitives invoked by
+// deferred functions during the unwind become no-ops.
+func (k *Kernel) park(p *proc, why string) {
+	k.blocked[p] = why
+	k.parked[p] = true
+	k.running = nil
+	k.yielded <- struct{}{}
+	if m := <-p.resume; m == resumeKill {
+		k.running = p
+		p.dying = true
+		panic(killed{})
+	}
+	k.running = p
+}
+
+// mustRunning returns the running thread. Outside Run (setup before
+// the simulation, inspection after it) there is no concurrency, so
+// primitives are permitted from the host goroutine and mustRunning
+// returns nil; operations that would block must then panic.
+func (k *Kernel) mustRunning(op string) *proc {
+	if k.running == nil && k.inRun {
+		panic("sim: " + op + " called from outside a simulated thread")
+	}
+	return k.running
+}
+
+// --- primitives ---
+
+type simTimer struct{ ev *event }
+
+// Stop cancels the pending call; it reports false if the timer
+// already fired or was already stopped.
+func (t simTimer) Stop() bool {
+	if t.ev.done || t.ev.cancel {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+type simMutex struct {
+	k       *Kernel
+	locked  bool
+	waiters []*proc
+}
+
+func (m *simMutex) Lock() {
+	p := m.k.mustRunning("Mutex.Lock")
+	if p != nil && p.dying {
+		return
+	}
+	if !m.locked {
+		m.locked = true
+		return
+	}
+	if p == nil {
+		panic("sim: Mutex.Lock would block outside a simulated thread")
+	}
+	m.waiters = append(m.waiters, p)
+	m.k.park(p, "mutex")
+}
+
+func (m *simMutex) Unlock() {
+	p := m.k.mustRunning("Mutex.Unlock")
+	if p != nil && p.dying {
+		return
+	}
+	if !m.locked {
+		panic("sim: unlock of unlocked mutex")
+	}
+	if len(m.waiters) > 0 {
+		// Direct handoff: the mutex stays locked and ownership moves
+		// to the longest waiter, which keeps scheduling fair and
+		// deterministic.
+		next := m.waiters[0]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		m.k.makeRunnable(next)
+		return
+	}
+	m.locked = false
+}
+
+type simCond struct {
+	k       *Kernel
+	m       *simMutex
+	waiters []*proc
+}
+
+func (c *simCond) Wait() {
+	p := c.k.mustRunning("Cond.Wait")
+	if p == nil {
+		panic("sim: Cond.Wait called from outside a simulated thread")
+	}
+	if p.dying {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	c.m.Unlock()
+	c.k.park(p, "cond")
+	c.m.Lock()
+}
+
+func (c *simCond) Signal() {
+	p := c.k.mustRunning("Cond.Signal")
+	if (p != nil && p.dying) || len(c.waiters) == 0 {
+		return
+	}
+	next := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.k.makeRunnable(next)
+}
+
+func (c *simCond) Broadcast() {
+	p := c.k.mustRunning("Cond.Broadcast")
+	if p != nil && p.dying {
+		return
+	}
+	for _, w := range c.waiters {
+		c.k.makeRunnable(w)
+	}
+	c.waiters = nil
+}
+
+// --- event heap ---
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,120 @@
+// Package stats provides the small statistics and table-rendering
+// toolkit used by the experiment harness: sample accumulation,
+// mean/standard deviation (the paper reports both for every latency
+// figure), and percentiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates observations of a scalar quantity.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in milliseconds, the
+// unit the paper uses throughout.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or
+// 0 for fewer than two observations.
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank interpolation, or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Summary renders "mean ± stddev (n)" in the paper's style.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("%.1f ms ± %.1f (n=%d)", s.Mean(), s.StdDev(), s.N())
+}

@@ -1,0 +1,92 @@
+package tid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeFamilyRoundTrip(t *testing.T) {
+	f := MakeFamily(7, 42)
+	if f.Origin() != 7 {
+		t.Errorf("Origin() = %v, want 7", f.Origin())
+	}
+	if f.Counter() != 42 {
+		t.Errorf("Counter() = %d, want 42", f.Counter())
+	}
+}
+
+func TestFamilyRoundTripProperty(t *testing.T) {
+	prop := func(site uint32, counter uint32) bool {
+		f := MakeFamily(SiteID(site), counter)
+		return f.Origin() == SiteID(site) && f.Counter() == counter
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFamilyUniqueness(t *testing.T) {
+	seen := map[FamilyID]bool{}
+	for site := SiteID(1); site <= 10; site++ {
+		for c := uint32(0); c < 100; c++ {
+			f := MakeFamily(site, c)
+			if seen[f] {
+				t.Fatalf("duplicate family %v", f)
+			}
+			seen[f] = true
+		}
+	}
+}
+
+func TestTopLevel(t *testing.T) {
+	f := MakeFamily(3, 9)
+	top := Top(f)
+	if !top.IsTop() {
+		t.Error("Top() is not top-level")
+	}
+	nested := TID{Family: f, Seq: MakeSeq(4, 1)}
+	if nested.IsTop() {
+		t.Error("nested TID reported as top-level")
+	}
+	if nested.TopLevel() != top {
+		t.Errorf("TopLevel() = %v, want %v", nested.TopLevel(), top)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var zero TID
+	if !zero.IsZero() {
+		t.Error("zero TID not reported as zero")
+	}
+	if Top(MakeFamily(1, 0)).IsZero() {
+		t.Error("valid TID reported as zero")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	f := MakeFamily(2, 5)
+	if got := f.String(); got != "F2.5" {
+		t.Errorf("FamilyID.String() = %q, want \"F2.5\"", got)
+	}
+	if got := Top(f).String(); got != "F2.5" {
+		t.Errorf("top TID String() = %q, want \"F2.5\"", got)
+	}
+	nested := TID{Family: f, Seq: MakeSeq(3, 1)}
+	if got := nested.String(); got != "F2.5/3.1" {
+		t.Errorf("nested TID String() = %q, want \"F2.5/3.1\"", got)
+	}
+	if got := SiteID(4).String(); got != "site4" {
+		t.Errorf("SiteID.String() = %q, want \"site4\"", got)
+	}
+}
+
+func TestMakeSeqUniqueAcrossSites(t *testing.T) {
+	a := MakeSeq(1, 1)
+	b := MakeSeq(2, 1)
+	if a == b {
+		t.Error("same counter on different sites collided")
+	}
+	if a == TopSeq || b == TopSeq {
+		t.Error("nested seq collided with TopSeq")
+	}
+}

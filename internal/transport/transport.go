@@ -1,0 +1,255 @@
+// Package transport provides the inter-site datagram network.
+//
+// The paper's testbed was a 4 Mb/s IBM token ring without gateways;
+// transaction managers exchange raw datagrams over it (10 ms each,
+// Table 2) and the coordinator's serial send loop costs 1.7 ms per
+// datagram — "the third prepare message is sent about 3.4 ms after
+// the first" (§4.2). Multicast replaces that serial loop with a
+// single send, which is exactly why it reduces the variance of
+// distributed commit. This package models all of that: per-site send
+// serialization, configurable latency and jitter, true multicast,
+// message loss, site crashes, and network partitions.
+package transport
+
+import (
+	"time"
+
+	"camelot/internal/rt"
+	"camelot/internal/tid"
+)
+
+// Datagram is one unreliable message. Payload is a protocol message
+// (*wire.Msg for transaction-manager traffic, commman request/reply
+// types for forwarded RPCs).
+type Datagram struct {
+	From    tid.SiteID
+	To      tid.SiteID
+	Payload any
+}
+
+// Handler receives inbound datagrams for one site. It runs on its own
+// thread per delivery; implementations hand off to their own queues.
+type Handler func(d Datagram)
+
+// Sender is the datagram-transmission interface the transaction
+// manager depends on: the simulated Network implements it, and so
+// does the real UDPPeer, which is how the same protocol code runs on
+// a physical network.
+type Sender interface {
+	// Send queues one unreliable datagram.
+	Send(from, to tid.SiteID, payload any)
+	// Multicast delivers one payload to every site in tos with a
+	// single send.
+	Multicast(from tid.SiteID, tos []tid.SiteID, payload any)
+	// SendAll unicasts payload to each site in tos serially.
+	SendAll(from tid.SiteID, tos []tid.SiteID, payload any)
+}
+
+// Config sets the network's timing and fault model.
+type Config struct {
+	// Latency is the one-way datagram time (paper: 10 ms).
+	Latency time.Duration
+	// SendCycle is the sender-side cost per datagram; consecutive
+	// sends from one site are spaced by it (paper: 1.7 ms).
+	SendCycle time.Duration
+	// Jitter adds a uniform random [0, Jitter) scheduling delay per
+	// send *at the sender*, and the delay pushes back the sender's
+	// subsequent sends. A serial unicast fan-out therefore
+	// accumulates one draw per datagram while a multicast pays a
+	// single draw — which is why "much of the variance is created by
+	// the coordinator's repeated sends" (§4.2) and multicast removes
+	// it.
+	Jitter time.Duration
+	// LossRate drops datagrams with this probability (0 ≤ p < 1).
+	LossRate float64
+}
+
+// Network connects sites. It is safe for concurrent use from many
+// runtime threads.
+type Network struct {
+	r   rt.Runtime
+	cfg Config
+
+	mu        rt.Mutex
+	handlers  map[tid.SiteID]Handler
+	down      map[tid.SiteID]bool
+	cut       map[[2]tid.SiteID]bool
+	nextFree  map[tid.SiteID]rt.Time
+	sent      int
+	delivered int
+	dropped   int
+}
+
+// NewNetwork returns an empty network with the given fault/timing
+// model.
+func NewNetwork(r rt.Runtime, cfg Config) *Network {
+	n := &Network{
+		r:        r,
+		cfg:      cfg,
+		handlers: make(map[tid.SiteID]Handler),
+		down:     make(map[tid.SiteID]bool),
+		cut:      make(map[[2]tid.SiteID]bool),
+		nextFree: make(map[tid.SiteID]rt.Time),
+	}
+	n.mu = r.NewMutex()
+	return n
+}
+
+// Register installs the datagram handler for site, replacing any
+// previous one (a recovered site re-registers).
+func (n *Network) Register(site tid.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[site] = h
+	n.down[site] = false
+}
+
+// Send queues one datagram. Delivery is asynchronous and may never
+// happen (loss, crash, partition) — exactly the guarantee the
+// transaction managers' own timeout/retry machinery assumes.
+func (n *Network) Send(from, to tid.SiteID, payload any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	leave := n.reserveSendLocked(from)
+	n.deliverLocked(Datagram{From: from, To: to, Payload: payload}, leave)
+}
+
+// Multicast sends payload to every site in tos with a single send
+// cycle and a single scheduling-delay draw.
+func (n *Network) Multicast(from tid.SiteID, tos []tid.SiteID, payload any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	leave := n.reserveSendLocked(from)
+	for _, to := range tos {
+		n.deliverLocked(Datagram{From: from, To: to, Payload: payload}, leave)
+	}
+}
+
+// SendAll unicasts payload to each site in tos, paying one send cycle
+// and one scheduling-delay draw per datagram — the coordinator's
+// serial send loop.
+func (n *Network) SendAll(from tid.SiteID, tos []tid.SiteID, payload any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, to := range tos {
+		leave := n.reserveSendLocked(from)
+		n.deliverLocked(Datagram{From: from, To: to, Payload: payload}, leave)
+	}
+}
+
+// SendReliable models connection-oriented traffic (the NetMsgServer
+// RPC path): a caller-supplied one-way latency, no loss, no
+// send-cycle serialization. Crashes and partitions still apply — a
+// "reliable" connection to a dead site delivers nothing, which is
+// what RPC timeouts detect.
+func (n *Network) SendReliable(from, to tid.SiteID, payload any, latency time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sent++
+	if n.down[from] {
+		n.dropped++
+		return
+	}
+	d := Datagram{From: from, To: to, Payload: payload}
+	n.r.After(latency, func() {
+		n.mu.Lock()
+		h := n.handlers[d.To]
+		blocked := n.down[d.To] || n.down[d.From] || n.cut[linkKey(d.From, d.To)]
+		if h == nil || blocked {
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		n.delivered++
+		n.mu.Unlock()
+		h(d)
+	})
+}
+
+// SetLossRate changes the datagram loss probability at runtime.
+func (n *Network) SetLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossRate = p
+}
+
+// SetDown marks site crashed (true) or recovered (false). Datagrams
+// to or from a crashed site vanish.
+func (n *Network) SetDown(site tid.SiteID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[site] = down
+}
+
+// SetPartition cuts (true) or heals (false) the link between a and b,
+// in both directions.
+func (n *Network) SetPartition(a, b tid.SiteID, broken bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey(a, b)] = broken
+}
+
+// Stats reports datagrams sent, delivered, and dropped.
+func (n *Network) Stats() (sent, delivered, dropped int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.delivered, n.dropped
+}
+
+// reserveSendLocked serializes sends from one site: each costs a send
+// cycle plus a random scheduling delay, and both push back the
+// sender's next send. It returns the moment the datagram leaves.
+func (n *Network) reserveSendLocked(from tid.SiteID) rt.Time {
+	now := n.r.Now()
+	at := n.nextFree[from]
+	if at < now {
+		at = now
+	}
+	leave := at + n.cfg.SendCycle + n.jitterLocked()
+	n.nextFree[from] = leave
+	return leave
+}
+
+func (n *Network) jitterLocked() time.Duration {
+	if n.cfg.Jitter <= 0 {
+		return 0
+	}
+	return time.Duration(n.r.Rand().Int63n(int64(n.cfg.Jitter)))
+}
+
+// deliverLocked schedules the datagram's arrival and drops it if the
+// fault model says so. Drop decisions happen at send time; crash and
+// partition state are re-checked at delivery time, so a datagram in
+// flight when its destination dies is lost too.
+func (n *Network) deliverLocked(d Datagram, leave rt.Time) {
+	n.sent++
+	if n.down[d.From] {
+		n.dropped++
+		return
+	}
+	if n.cfg.LossRate > 0 && n.r.Rand().Float64() < n.cfg.LossRate {
+		n.dropped++
+		return
+	}
+	arriveIn := leave - n.r.Now() + n.cfg.Latency
+	n.r.After(arriveIn, func() {
+		n.mu.Lock()
+		h := n.handlers[d.To]
+		blocked := n.down[d.To] || n.down[d.From] || n.cut[linkKey(d.From, d.To)]
+		if h == nil || blocked {
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		n.delivered++
+		n.mu.Unlock()
+		h(d)
+	})
+}
+
+func linkKey(a, b tid.SiteID) [2]tid.SiteID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]tid.SiteID{a, b}
+}

@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// UDPPeer is a real-network Sender: transaction-manager datagrams are
+// marshaled with the wire codec and carried over UDP, with exactly
+// the delivery guarantees the protocols were built for — none. The
+// transaction managers' own timeout/retry and idempotent-answer
+// machinery provides the reliability, just as it did over the
+// paper's token ring.
+//
+// A UDPPeer carries only *wire.Msg payloads (the TranMan-to-TranMan
+// traffic of §3.2/§3.3); the communication-manager RPC path is
+// connection-oriented and would ride TCP in a full deployment.
+type UDPPeer struct {
+	self tid.SiteID
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	peers   map[tid.SiteID]*net.UDPAddr
+	handler Handler
+	closed  bool
+	sent    int
+	recv    int
+	dropped int
+}
+
+// NewUDPPeer binds a UDP socket for site self at listenAddr (for
+// example "127.0.0.1:0") and starts its reader.
+func NewUDPPeer(self tid.SiteID, listenAddr string) (*UDPPeer, error) {
+	addr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	p := &UDPPeer{
+		self:  self,
+		conn:  conn,
+		peers: make(map[tid.SiteID]*net.UDPAddr),
+	}
+	go p.readLoop()
+	return p, nil
+}
+
+// Addr returns the bound local address, for exchanging with peers.
+func (p *UDPPeer) Addr() string { return p.conn.LocalAddr().String() }
+
+// AddPeer registers the address of another site.
+func (p *UDPPeer) AddPeer(id tid.SiteID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %q: %w", addr, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peers[id] = ua
+	return nil
+}
+
+// SetHandler installs the inbound datagram handler.
+func (p *UDPPeer) SetHandler(h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handler = h
+}
+
+// Send implements Sender. Non-*wire.Msg payloads and unknown peers
+// are dropped silently, matching datagram semantics.
+func (p *UDPPeer) Send(from, to tid.SiteID, payload any) {
+	msg, ok := payload.(*wire.Msg)
+	if !ok {
+		p.drop()
+		return
+	}
+	// Fill in the addressing the simulated network carries out of
+	// band; receivers rely on msg.From for replies.
+	m := *msg
+	m.From = from
+	m.To = to
+	buf := wire.Marshal(&m)
+
+	p.mu.Lock()
+	addr := p.peers[to]
+	closed := p.closed
+	p.mu.Unlock()
+	if addr == nil || closed {
+		p.drop()
+		return
+	}
+	if _, err := p.conn.WriteToUDP(buf, addr); err != nil {
+		p.drop()
+		return
+	}
+	p.mu.Lock()
+	p.sent++
+	p.mu.Unlock()
+}
+
+// Multicast implements Sender. Loopback deployments have no real
+// multicast group, so this is a fan-out of unicasts; the latency
+// semantics that distinguish multicast in the simulator are a
+// property of the medium, not of this API.
+func (p *UDPPeer) Multicast(from tid.SiteID, tos []tid.SiteID, payload any) {
+	for _, to := range tos {
+		p.Send(from, to, payload)
+	}
+}
+
+// SendAll implements Sender.
+func (p *UDPPeer) SendAll(from tid.SiteID, tos []tid.SiteID, payload any) {
+	for _, to := range tos {
+		p.Send(from, to, payload)
+	}
+}
+
+// Stats reports datagrams sent, received, and dropped at this peer.
+func (p *UDPPeer) Stats() (sent, received, dropped int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent, p.recv, p.dropped
+}
+
+// Close shuts the socket down; the read loop exits.
+func (p *UDPPeer) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return p.conn.Close()
+}
+
+func (p *UDPPeer) drop() {
+	p.mu.Lock()
+	p.dropped++
+	p.mu.Unlock()
+}
+
+func (p *UDPPeer) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		msg, err := wire.Unmarshal(buf[:n])
+		if err != nil {
+			p.drop()
+			continue // corrupt datagrams vanish, like any other loss
+		}
+		p.mu.Lock()
+		h := p.handler
+		p.recv++
+		p.mu.Unlock()
+		if h != nil {
+			h(Datagram{From: msg.From, To: p.self, Payload: msg})
+		}
+	}
+}
+
+// UDPPeer must satisfy Sender.
+var _ Sender = (*UDPPeer)(nil)

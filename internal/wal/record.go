@@ -1,0 +1,229 @@
+// Package wal implements Camelot's common stable-storage log: the
+// single per-site write-ahead log through which servers record
+// old/new object values and the transaction manager records protocol
+// state.
+//
+// The log is the performance fulcrum of the paper. A log force costs
+// a full device write (15 ms in the paper's Table 2; ~30 writes/s on
+// their disk), so the number of forces per transaction dominates
+// commit latency, and log batching ("group commit") is what lets a
+// multithreaded transaction manager raise throughput past the
+// one-force-at-a-time ceiling (paper §3.5, Figures 4 and 5).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// RecType discriminates log record types.
+type RecType uint8
+
+// Log record types. RecUpdate carries a server's old and new object
+// values ("it reports both the old and new value of the object to the
+// disk manager", Figure 1 step 5). The protocol records mirror the
+// states of §3.2 and §3.3.
+const (
+	RecInvalid       RecType = iota
+	RecUpdate                // old/new value pair for one object
+	RecPrepare               // subordinate is prepared; lists coordinator
+	RecCommit                // transaction committed (the commit point at the coordinator)
+	RecAbort                 // transaction aborted
+	RecNBReplicate           // non-blocking replication-phase commit intent
+	RecNBAbortIntent         // non-blocking abort-quorum record
+	RecEnd                   // coordinator may forget: all acks received
+	RecCheckpoint            // recovery starting point
+)
+
+var recNames = map[RecType]string{
+	RecUpdate: "UPDATE", RecPrepare: "PREPARE", RecCommit: "COMMIT",
+	RecAbort: "ABORT", RecNBReplicate: "NB-REPLICATE",
+	RecNBAbortIntent: "NB-ABORT-INTENT", RecEnd: "END", RecCheckpoint: "CHECKPOINT",
+}
+
+// String returns the record type's name.
+func (t RecType) String() string {
+	if s, ok := recNames[t]; ok {
+		return s
+	}
+	return "INVALID"
+}
+
+// Record is one log entry. LSN is assigned by Log.Append.
+type Record struct {
+	LSN  uint64
+	Type RecType
+	TID  tid.TID
+	// Parent links a nested transaction to its parent; recovery uses
+	// the resulting chains to decide whether an update record belongs
+	// to an aborted subtree.
+	Parent tid.TID
+
+	// Update fields.
+	Server string
+	Key    string
+	Old    []byte
+	New    []byte
+
+	// Prepare fields: who coordinates, and (non-blocking) the full
+	// participant list and quorum sizes so a promoted coordinator can
+	// reconstruct the protocol after a crash.
+	Coordinator  tid.SiteID
+	Sites        []tid.SiteID
+	CommitQuorum uint16
+	AbortQuorum  uint16
+
+	// NB replication fields: the collected votes being replicated.
+	Votes []wire.SiteVote
+}
+
+// Codec errors.
+var (
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// marshal encodes r (LSN included) with a trailing CRC32 so torn or
+// corrupted blocks are detected at recovery.
+func marshal(r *Record) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.BigEndian.AppendUint64(b, r.LSN)
+	b = append(b, byte(r.Type))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.TID.Family))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.TID.Seq))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Parent.Family))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Parent.Seq))
+	b = appendString(b, r.Server)
+	b = appendString(b, r.Key)
+	b = appendBytes(b, r.Old)
+	b = appendBytes(b, r.New)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Coordinator))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Sites)))
+	for _, s := range r.Sites {
+		b = binary.BigEndian.AppendUint32(b, uint32(s))
+	}
+	b = binary.BigEndian.AppendUint16(b, r.CommitQuorum)
+	b = binary.BigEndian.AppendUint16(b, r.AbortQuorum)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Votes)))
+	for _, v := range r.Votes {
+		b = binary.BigEndian.AppendUint32(b, uint32(v.Site))
+		b = append(b, byte(v.Vote))
+	}
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// unmarshal decodes one record block, verifying its CRC.
+func unmarshal(b []byte) (*Record, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(b))
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d := recDecoder{buf: body}
+	r := &Record{}
+	r.LSN = d.u64()
+	r.Type = RecType(d.u8())
+	if r.Type == RecInvalid || r.Type > RecCheckpoint {
+		return nil, fmt.Errorf("%w: type %d", ErrCorrupt, r.Type)
+	}
+	r.TID.Family = tid.FamilyID(d.u64())
+	r.TID.Seq = tid.Seq(d.u64())
+	r.Parent.Family = tid.FamilyID(d.u64())
+	r.Parent.Seq = tid.Seq(d.u64())
+	r.Server = string(d.bytes())
+	r.Key = string(d.bytes())
+	r.Old = d.bytes()
+	r.New = d.bytes()
+	r.Coordinator = tid.SiteID(d.u32())
+	for i, n := 0, int(d.u16()); i < n; i++ {
+		r.Sites = append(r.Sites, tid.SiteID(d.u32()))
+	}
+	r.CommitQuorum = d.u16()
+	r.AbortQuorum = d.u16()
+	for i, n := 0, int(d.u16()); i < n; i++ {
+		r.Votes = append(r.Votes, wire.SiteVote{
+			Site: tid.SiteID(d.u32()), Vote: wire.Vote(d.u8()),
+		})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return r, nil
+}
+
+func appendString(b []byte, s string) []byte { return appendBytes(b, []byte(s)) }
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+type recDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *recDecoder) take(n int) []byte {
+	if d.err != nil || len(d.buf) < n {
+		d.err = ErrCorrupt
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *recDecoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *recDecoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *recDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *recDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *recDecoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n > len(d.buf) {
+		d.err = ErrCorrupt
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.take(n))
+	return out
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"camelot/internal/tid"
+)
+
+// Codec errors.
+var (
+	ErrShort   = errors.New("wire: truncated message")
+	ErrBadKind = errors.New("wire: invalid message kind")
+)
+
+// maxSlice bounds decoded slice lengths so a corrupt length prefix
+// cannot force a huge allocation.
+const maxSlice = 1 << 16
+
+// Marshal encodes m into a self-describing byte string.
+func Marshal(m *Msg) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(m.Kind))
+	b = be64(b, uint64(m.TID.Family))
+	b = be64(b, uint64(m.TID.Seq))
+	b = be64(b, uint64(m.Parent.Family))
+	b = be64(b, uint64(m.Parent.Seq))
+	b = be32(b, uint32(m.From))
+	b = be32(b, uint32(m.To))
+	b = be64(b, m.Seq)
+	b = append(b, m.Flags)
+	b = be16(b, uint16(len(m.Sites)))
+	for _, s := range m.Sites {
+		b = be32(b, uint32(s))
+	}
+	b = be16(b, m.CommitQuorum)
+	b = be16(b, m.AbortQuorum)
+	b = append(b, byte(m.Vote), byte(m.Outcome), byte(m.State))
+	b = be16(b, uint16(len(m.Votes)))
+	for _, v := range m.Votes {
+		b = be32(b, uint32(v.Site))
+		b = append(b, byte(v.Vote))
+	}
+	b = be16(b, uint16(len(m.AckTIDs)))
+	for _, t := range m.AckTIDs {
+		b = be64(b, uint64(t.Family))
+		b = be64(b, uint64(t.Seq))
+	}
+	return b
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(data []byte) (*Msg, error) {
+	d := decoder{buf: data}
+	m := &Msg{}
+	m.Kind = Kind(d.u8())
+	if m.Kind == KInvalid || m.Kind > KChildAbort {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
+	}
+	m.TID.Family = tid.FamilyID(d.u64())
+	m.TID.Seq = tid.Seq(d.u64())
+	m.Parent.Family = tid.FamilyID(d.u64())
+	m.Parent.Seq = tid.Seq(d.u64())
+	m.From = tid.SiteID(d.u32())
+	m.To = tid.SiteID(d.u32())
+	m.Seq = d.u64()
+	m.Flags = d.u8()
+	nSites := int(d.u16())
+	if nSites > maxSlice {
+		return nil, ErrShort
+	}
+	for i := 0; i < nSites; i++ {
+		m.Sites = append(m.Sites, tid.SiteID(d.u32()))
+	}
+	m.CommitQuorum = d.u16()
+	m.AbortQuorum = d.u16()
+	m.Vote = Vote(d.u8())
+	m.Outcome = Outcome(d.u8())
+	m.State = NBState(d.u8())
+	nVotes := int(d.u16())
+	if nVotes > maxSlice {
+		return nil, ErrShort
+	}
+	for i := 0; i < nVotes; i++ {
+		sv := SiteVote{Site: tid.SiteID(d.u32()), Vote: Vote(d.u8())}
+		m.Votes = append(m.Votes, sv)
+	}
+	nAcks := int(d.u16())
+	if nAcks > maxSlice {
+		return nil, ErrShort
+	}
+	for i := 0; i < nAcks; i++ {
+		t := tid.TID{Family: tid.FamilyID(d.u64()), Seq: tid.Seq(d.u64())}
+		m.AckTIDs = append(m.AckTIDs, t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+	}
+	return m, nil
+}
+
+func be16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func be32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func be64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || len(d.buf) < n {
+		d.err = ErrShort
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}

@@ -1,0 +1,213 @@
+// Package wire defines the datagram messages exchanged between
+// transaction managers and their binary encoding.
+//
+// Camelot transaction managers do not use the communication manager
+// for their own traffic: "transaction managers on different sites
+// communicate using datagrams" and implement timeout/retry and
+// duplicate detection themselves (paper §4.2, footnote 1). This
+// package is that datagram vocabulary: the two-phase commit messages
+// (with the presumed-abort and delayed-commit optimizations), the
+// non-blocking protocol's replication-phase messages, the abort
+// protocol, and the status/recovery messages.
+package wire
+
+import "camelot/internal/tid"
+
+// Kind discriminates datagram types.
+type Kind uint8
+
+// Datagram kinds. The 2PC group implements presumed-abort two-phase
+// commit; the NB group implements the non-blocking three-phase
+// protocol of paper §3.3.
+const (
+	KInvalid Kind = iota
+
+	// Two-phase commit.
+	KPrepare   // coordinator → subordinate: phase one
+	KVote      // subordinate → coordinator: yes / no / read-only
+	KCommit    // coordinator → subordinate: outcome commit
+	KAbort     // coordinator → subordinate: outcome abort (also abort protocol)
+	KCommitAck // subordinate → coordinator: commit record stable (may be piggybacked)
+
+	// Non-blocking commit.
+	KNBPrepare      // carries full site list and quorum sizes (change 1)
+	KNBVote         // subordinate vote
+	KNBReplicate    // replication phase: commit-intent to force (change 3)
+	KNBReplicateAck // intent forced
+	KNBOutcome      // notify phase: final outcome
+	KNBOutcomeAck   // outcome recorded (lets the coordinator forget, change 4)
+	KNBStatusReq    // promoted coordinator asking where everyone stands (change 2)
+	KNBStatusResp   // site's protocol state
+	KNBAbortIntent  // promoted coordinator soliciting an abort-quorum record
+	KNBAbortIntentAck
+
+	// Presumed-abort inquiry: a prepared subordinate asking the
+	// coordinator for a forgotten transaction's outcome.
+	KInquire
+
+	// Nested-transaction resolution, fire-and-forget: a committed
+	// child's locks and updates merge into its parent at every site
+	// the child touched; an aborted child's are undone (Duchamp's
+	// abort protocol for nested distributed transactions).
+	KChildCommit
+	KChildAbort
+)
+
+var kindNames = map[Kind]string{
+	KPrepare: "PREPARE", KVote: "VOTE", KCommit: "COMMIT", KAbort: "ABORT",
+	KCommitAck: "COMMIT-ACK", KNBPrepare: "NB-PREPARE", KNBVote: "NB-VOTE",
+	KNBReplicate: "NB-REPLICATE", KNBReplicateAck: "NB-REPLICATE-ACK",
+	KNBOutcome: "NB-OUTCOME", KNBOutcomeAck: "NB-OUTCOME-ACK",
+	KNBStatusReq: "NB-STATUS-REQ", KNBStatusResp: "NB-STATUS-RESP",
+	KNBAbortIntent: "NB-ABORT-INTENT", KNBAbortIntentAck: "NB-ABORT-INTENT-ACK",
+	KInquire: "INQUIRE", KChildCommit: "CHILD-COMMIT", KChildAbort: "CHILD-ABORT",
+}
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "INVALID"
+}
+
+// Vote is a subordinate's phase-one answer.
+type Vote uint8
+
+// Phase-one votes. VoteReadOnly triggers the read-only optimization:
+// the site writes no log records and is excluded from later phases.
+const (
+	VoteInvalid Vote = iota
+	VoteYes
+	VoteNo
+	VoteReadOnly
+)
+
+// String returns the vote name.
+func (v Vote) String() string {
+	switch v {
+	case VoteYes:
+		return "YES"
+	case VoteNo:
+		return "NO"
+	case VoteReadOnly:
+		return "READ-ONLY"
+	}
+	return "INVALID"
+}
+
+// Outcome is a transaction's final fate.
+type Outcome uint8
+
+// Outcomes. OutcomeUnknown appears only in status responses from
+// sites that have not yet learned the decision.
+const (
+	OutcomeUnknown Outcome = iota
+	OutcomeCommit
+	OutcomeAbort
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommit:
+		return "COMMIT"
+	case OutcomeAbort:
+		return "ABORT"
+	}
+	return "UNKNOWN"
+}
+
+// NBState is a site's position in the non-blocking protocol, reported
+// in KNBStatusResp during coordinator promotion.
+type NBState uint8
+
+// Non-blocking protocol states, ordered by progress. A site holding
+// NBReplicated has forced a commit-intent record and therefore may
+// never join an abort quorum (change 4).
+const (
+	NBUnknown NBState = iota
+	NBPrepared
+	NBReplicated
+	NBAbortIntent
+	NBCommitted
+	NBAborted
+)
+
+// String returns the state name.
+func (s NBState) String() string {
+	switch s {
+	case NBPrepared:
+		return "PREPARED"
+	case NBReplicated:
+		return "REPLICATED"
+	case NBAbortIntent:
+		return "ABORT-INTENT"
+	case NBCommitted:
+		return "COMMITTED"
+	case NBAborted:
+		return "ABORTED"
+	}
+	return "UNKNOWN"
+}
+
+// Msg is a transaction-manager datagram. A single struct with
+// optional fields keeps the codec simple and mirrors a fixed wire
+// header plus kind-specific body.
+type Msg struct {
+	Kind Kind
+	TID  tid.TID
+	// Parent is the parent transaction for nested-resolution
+	// messages (KChildCommit).
+	Parent tid.TID
+	From   tid.SiteID
+	To     tid.SiteID
+	// Seq is a per-sender sequence number used for duplicate
+	// detection and retry matching.
+	Seq uint64
+	// Flags carries the commit-variant options a subordinate must
+	// honor (see the Flag constants).
+	Flags uint8
+
+	// Sites is the participant list (KPrepare under non-blocking,
+	// KNBPrepare, KNBReplicate, KNBStatusReq).
+	Sites []tid.SiteID
+	// CommitQuorum and AbortQuorum are the replication-phase quorum
+	// sizes (change 1 of §3.3).
+	CommitQuorum uint16
+	AbortQuorum  uint16
+
+	Vote    Vote
+	Outcome Outcome
+	State   NBState
+
+	// Votes carries the coordinator's collected phase-one information
+	// in KNBReplicate — "the information that it will use to make the
+	// commit/abort decision" — so any promoted coordinator can finish.
+	Votes []SiteVote
+
+	// AckTIDs carries piggybacked commit-acks for other transactions
+	// (the delayed-commit optimization batches acks onto later
+	// traffic).
+	AckTIDs []tid.TID
+}
+
+// SiteVote pairs a participant with its phase-one vote.
+type SiteVote struct {
+	Site tid.SiteID
+	Vote Vote
+}
+
+// Msg.Flags bits: the experiment knobs of §4.2 that change
+// subordinate behavior.
+const (
+	// FlagForceSubCommit: the subordinate must force its commit
+	// record before acknowledging (the unoptimized protocol).
+	FlagForceSubCommit uint8 = 1 << iota
+	// FlagImmediateAck: send the commit-ack as its own datagram
+	// rather than delaying it for piggybacking.
+	FlagImmediateAck
+	// FlagNoReadOnlyOpt: read-only sites must run the full update
+	// path (ablation).
+	FlagNoReadOnlyOpt
+)
