@@ -1,0 +1,41 @@
+# Build and verification entry points. `make check` is the gate a
+# change must pass before merging: formatting, vet, a full build, the
+# entire test suite under the race detector, and a short pass over the
+# fault-injection torture suite.
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race torture golden
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# A quick pass over the randomized fault-injection suite (-short trims
+# the seed count); the full sweep runs with plain `go test ./camelot`.
+torture:
+	$(GO) test -short -run TestAtomicityUnderRandomFaults ./camelot
+
+# Regenerate the camelot-trace golden files after an intended change
+# to the event schema or the simulation timeline.
+golden:
+	$(GO) test ./cmd/camelot-trace -update
+
+check: fmt vet build race torture
+	@echo "check: OK"

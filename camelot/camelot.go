@@ -34,6 +34,7 @@ import (
 	"camelot/internal/rt"
 	"camelot/internal/server"
 	"camelot/internal/tid"
+	"camelot/internal/trace"
 	"camelot/internal/transport"
 	"camelot/internal/wal"
 	"camelot/internal/wire"
@@ -83,6 +84,11 @@ type Config struct {
 	RPCTimeout time.Duration
 	// LossRate injects datagram loss for fault experiments.
 	LossRate float64
+	// Trace attaches a trace.Collector to the cluster, recording a
+	// structured event timeline and per-site protocol counters; read
+	// them back through Cluster.Trace. Off by default: the
+	// uninstrumented path costs one nil check per hook.
+	Trace bool
 }
 
 // DefaultConfig returns a cluster configuration with the paper's
@@ -111,6 +117,7 @@ type Cluster struct {
 	net   *transport.Network
 	names *commman.Names
 	nodes map[SiteID]*Node
+	tr    *trace.Collector
 }
 
 // NewRealtimeCluster creates a cluster on the ordinary Go runtime —
@@ -122,7 +129,7 @@ func NewRealtimeCluster(cfg Config) *Cluster {
 
 // NewCluster creates an empty cluster on the given runtime.
 func NewCluster(r rt.Runtime, cfg Config) *Cluster {
-	return &Cluster{
+	c := &Cluster{
 		r:   r,
 		cfg: cfg,
 		net: transport.NewNetwork(r, transport.Config{
@@ -134,7 +141,16 @@ func NewCluster(r rt.Runtime, cfg Config) *Cluster {
 		names: commman.NewNames(r),
 		nodes: make(map[SiteID]*Node),
 	}
+	if cfg.Trace {
+		c.tr = trace.New(r)
+		c.net.SetTrace(c.tr)
+	}
+	return c
 }
+
+// Trace returns the cluster's trace collector, or nil when Config.Trace
+// is off.
+func (c *Cluster) Trace() *trace.Collector { return c.tr }
 
 // Network exposes the transport for fault injection in tests and
 // experiments.
@@ -184,6 +200,8 @@ func (n *Node) start(keepServers []string) {
 		GroupCommit:   c.cfg.GroupCommit,
 		ForceLatency:  c.cfg.Params.LogForce,
 		FlushInterval: c.cfg.LogFlushInterval,
+		Site:          n.id,
+		Trace:         c.tr,
 	})
 	n.tm = core.New(c.r, core.Config{
 		Site:             n.id,
@@ -194,6 +212,7 @@ func (n *Node) start(keepServers []string) {
 		InquireInterval:  c.cfg.InquireInterval,
 		PromotionTimeout: c.cfg.PromotionTimeout,
 		AckFlushInterval: c.cfg.AckFlushInterval,
+		Trace:            c.tr,
 	}, n.log, c.net)
 	n.comm = commman.New(c.r, n.id, c.net, c.names, n.tm, c.cfg.Params, n.kernel, c.cfg.RPCTimeout)
 	n.servers = make(map[string]*server.Server)
@@ -266,6 +285,7 @@ func (n *Node) Crash() {
 		return
 	}
 	n.crashed = true
+	n.cluster.tr.Crash(n.id)
 	n.cluster.net.SetDown(n.id, true)
 	n.tm.Close()
 	n.log.Close()
@@ -283,6 +303,7 @@ func (n *Node) Recover() {
 		names = append(names, name)
 	}
 	n.start(names)
+	n.cluster.tr.Recover(n.id)
 	n.cluster.net.SetDown(n.id, false)
 	recoverNode(n)
 }

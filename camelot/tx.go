@@ -106,6 +106,7 @@ func (tx *Tx) Abort() error {
 func (tx *Tx) chargeLocalOp() {
 	p := tx.node.cluster.cfg.Params
 	rt.Charge(tx.node.cluster.r, tx.node.kernel, p.LocalIPCServer+p.KernelCPU)
+	tx.node.cluster.tr.IPC(tx.node.id)
 }
 
 // Outcome re-exports the protocol outcome type.

@@ -57,6 +57,17 @@ type Request struct {
 	Value  []byte
 }
 
+// TraceKind names the forwarded call for trace timelines. Requests
+// deliberately do not implement trace.TxPayload: per-family message
+// counters measure the commit protocol's datagram budget, and
+// operation RPCs are not part of it.
+func (r *Request) TraceKind() string {
+	if r.Op == OpWrite {
+		return "RPC-WRITE"
+	}
+	return "RPC-READ"
+}
+
 // Response answers a Request. Sites is the spied-on list of sites
 // used to produce the response, which the client-side communication
 // manager merges into its transaction manager's knowledge.
@@ -66,6 +77,9 @@ type Response struct {
 	Err   string
 	Sites []tid.SiteID
 }
+
+// TraceKind names the reply for trace timelines.
+func (r *Response) TraceKind() string { return "RPC-REPLY" }
 
 // Names is the cluster-wide name service (the NetMsgServer role): a
 // client presents a string naming the desired service and learns

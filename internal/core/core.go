@@ -32,6 +32,7 @@ import (
 	"camelot/internal/rt"
 	"camelot/internal/server"
 	"camelot/internal/tid"
+	"camelot/internal/trace"
 	"camelot/internal/transport"
 	"camelot/internal/wal"
 	"camelot/internal/wire"
@@ -102,6 +103,9 @@ type Config struct {
 	// that never answers is presumed failed, and abort is always safe
 	// before the commit point).
 	VoteRetries int
+	// Trace, if non-nil, receives protocol events (forces, phases,
+	// lock drops) and per-transaction counters.
+	Trace *trace.Collector
 }
 
 func (c *Config) fillDefaults() {
@@ -142,6 +146,7 @@ type Manager struct {
 	cfg Config
 	log *wal.Log
 	net transport.Sender
+	tr  *trace.Collector
 
 	queue *rt.Queue[func()]
 
@@ -236,6 +241,7 @@ func New(r rt.Runtime, cfg Config, log *wal.Log, net transport.Sender) *Manager 
 		cfg:         cfg,
 		log:         log,
 		net:         net,
+		tr:          cfg.Trace,
 		families:    make(map[tid.FamilyID]*family),
 		pendingAcks: make(map[tid.SiteID][]tid.TID),
 		resolved:    make(map[tid.FamilyID]wire.Outcome),
@@ -324,6 +330,7 @@ func (m *Manager) chargeCPU() {
 }
 
 func (m *Manager) chargeClientIPC() {
+	m.tr.IPC(m.cfg.Site)
 	rt.Charge(m.r, m.cfg.Kernel, m.cfg.Params.LocalIPC+m.cfg.Params.KernelCPU)
 }
 

@@ -108,7 +108,7 @@ func (m *Manager) tick(id tid.FamilyID) {
 			return
 		}
 		var missing []tid.SiteID
-		for s := range f.remoteSites {
+		for _, s := range sortedSites(f.remoteSites) {
 			if _, ok := f.votes[s]; !ok {
 				missing = append(missing, s)
 			}
@@ -126,7 +126,7 @@ func (m *Manager) tick(id tid.FamilyID) {
 			return
 		}
 		var missing []tid.SiteID
-		for s := range f.replTargets {
+		for _, s := range sortedSites(f.replTargets) {
 			if !f.replAcks[s] {
 				missing = append(missing, s)
 			}
@@ -135,11 +135,7 @@ func (m *Manager) tick(id tid.FamilyID) {
 		m.scheduleLocked(f, m.cfg.RetryInterval)
 	case (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0:
 		// Re-send the outcome to sites that have not acknowledged.
-		var missing []tid.SiteID
-		for s := range f.acksPending {
-			missing = append(missing, s)
-		}
-		m.fanoutLocked(missing, m.outcomeMsgLocked(f), f.opts.Multicast)
+		m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
 		m.scheduleLocked(f, m.cfg.RetryInterval)
 	case f.ph == phPrepared && !f.opts.NonBlocking && !f.coord:
 		// Blocked two-phase subordinate: ask the coordinator.

@@ -45,6 +45,7 @@ func (m *Manager) nbBeginCommitLocked(f *family) {
 		lsn, err := m.log.Append(rec)
 		if err == nil {
 			err = m.log.Force(lsn) // coordinator force #1
+			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
 		m.mu.Lock()
 		if m.families[f.id] != f {
@@ -56,6 +57,7 @@ func (m *Manager) nbBeginCommitLocked(f *family) {
 		}
 	}
 	f.ph = phPreparing
+	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "prepare")
 	// Change 1: the prepare message carries the site list and the
 	// quorum sizes for the replication phase.
 	m.fanoutLocked(sortedSites(f.remoteSites), m.prepareMsgLocked(f), f.opts.Multicast)
@@ -89,6 +91,7 @@ func (m *Manager) onNBVote(msg *wire.Msg) {
 // Read-only sites "often need not participate": they are enlisted
 // only if the update sites alone cannot reach the quorum.
 func (m *Manager) nbBeginReplicationLocked(f *family) {
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
 	allReadOnly := f.localVote == wire.VoteReadOnly
 	f.nbVotes = f.nbVotes[:0]
 	for _, s := range f.nbSites {
@@ -137,6 +140,7 @@ func (m *Manager) nbBeginReplicationLocked(f *family) {
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn) // coordinator force #2
+		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
 	m.mu.Lock()
 	if m.families[f.id] != f {
@@ -150,6 +154,7 @@ func (m *Manager) nbBeginReplicationLocked(f *family) {
 	f.replAcks[m.cfg.Site] = true
 	f.ph = phReplicating
 	f.attempts = 0
+	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "replicate")
 	m.fanoutLocked(sortedSites(f.replTargets), m.replicateMsgLocked(f), f.opts.Multicast)
 	m.scheduleLocked(f, m.cfg.RetryInterval)
 	m.nbCheckCommitQuorumLocked(f)
@@ -177,6 +182,7 @@ func (m *Manager) nbCheckCommitQuorumLocked(f *family) {
 	}
 	f.ph = phCommitted
 	m.stats.Committed++
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "replicate")
 	// The outcome is now decided; the local commit record may be lazy
 	// because any recovery can reconstruct the decision from the
 	// replicated quorum.
@@ -191,6 +197,9 @@ func (m *Manager) nbCheckCommitQuorumLocked(f *family) {
 	}
 	for s := range f.replTargets {
 		f.acksPending[s] = true
+	}
+	if len(f.acksPending) > 0 {
+		m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "notify")
 	}
 	m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
 	m.releaseLocalLocked(f, true)
@@ -207,6 +216,8 @@ func (m *Manager) nbCheckCommitQuorumLocked(f *family) {
 func (m *Manager) nbDecideAbortLocked(f *family) {
 	f.ph = phAborted
 	m.stats.Aborted++
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "replicate")
 	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy
 	if f.result != nil {
 		f.result.Set(wire.OutcomeAbort)
@@ -284,6 +295,7 @@ func (m *Manager) onNBPrepare(msg *wire.Msg) {
 		lsn, err := m.log.Append(rec)
 		if err == nil {
 			err = m.log.Force(lsn) // subordinate force #1
+			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
 		m.mu.Lock()
 		if m.families[f.id] != f {
@@ -299,6 +311,7 @@ func (m *Manager) onNBPrepare(msg *wire.Msg) {
 		f.ph = phPrepared
 		f.prepared = true
 		f.nbState = wire.NBPrepared
+		m.tr.PhaseBegin(m.cfg.Site, msg.TID, "prepared")
 		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteYes})
 		// Change 2: do not wait forever — time out and take over.
 		m.scheduleLocked(f, m.cfg.PromotionTimeout)
@@ -347,6 +360,7 @@ func (m *Manager) onNBReplicate(msg *wire.Msg) {
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn) // subordinate force #2
+		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -379,6 +393,7 @@ func (m *Manager) onNBOutcome(msg *wire.Msg) {
 		return
 	}
 	parts := m.participantsLocked(f)
+	m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
 	if commit {
 		f.ph = phCommitted
 	} else {

@@ -151,6 +151,7 @@ func (m *Manager) solicitAbortIntentsLocked(f *family) {
 		lsn, err := m.log.Append(rec)
 		if err == nil {
 			err = m.log.Force(lsn)
+			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
 		m.mu.Lock()
 		if m.families[f.id] != f {
@@ -224,6 +225,7 @@ func (m *Manager) onNBAbortIntent(msg *wire.Msg) {
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn)
+		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

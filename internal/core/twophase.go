@@ -109,6 +109,7 @@ func (m *Manager) commitTop(t tid.TID, opts Options, fut *rt.Future[wire.Outcome
 	// Distributed two-phase commit, phase one.
 	f.ph = phPreparing
 	f.votes[m.cfg.Site] = local
+	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "prepare")
 	m.fanoutLocked(sortedSites(f.remoteSites), m.prepareMsgLocked(f), opts.Multicast)
 	m.scheduleLocked(f, m.cfg.RetryInterval)
 }
@@ -131,6 +132,7 @@ func (m *Manager) commitLocalLocked(f *family) {
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn)
+		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
 	m.mu.Lock()
 	if m.families[f.id] != f {
@@ -173,6 +175,7 @@ func (m *Manager) onVote(msg *wire.Msg) {
 // application, then notify update subordinates. Read-only sites are
 // "omitted from the second phase".
 func (m *Manager) decideCommit2PCLocked(f *family) {
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
 	for s, v := range f.votes {
 		if s != m.cfg.Site && v == wire.VoteYes {
 			f.updateSubs[s] = true
@@ -195,6 +198,7 @@ func (m *Manager) decideCommit2PCLocked(f *family) {
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn)
+		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
 	m.mu.Lock()
 	if m.families[f.id] != f {
@@ -208,6 +212,9 @@ func (m *Manager) decideCommit2PCLocked(f *family) {
 	m.stats.Committed++
 	for s := range f.updateSubs {
 		f.acksPending[s] = true
+	}
+	if len(f.acksPending) > 0 {
+		m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "notify")
 	}
 	m.fanoutLocked(sortedSites(f.updateSubs), m.outcomeMsgLocked(f), f.opts.Multicast)
 	f.result.Set(wire.OutcomeCommit)
@@ -236,6 +243,7 @@ func (m *Manager) onCommitAckLocked(from tid.SiteID, t tid.TID) {
 
 // endLocked writes the END record and forgets the family.
 func (m *Manager) endLocked(f *family) {
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "notify")
 	m.log.Append(&wal.Record{Type: wal.RecEnd, TID: tid.Top(f.id)}) //nolint:errcheck // lazy; loss is harmless
 	m.forgetLocked(f)
 }
@@ -246,6 +254,7 @@ func (m *Manager) endLocked(f *family) {
 func (m *Manager) abortFamilyLocked(f *family) {
 	f.ph = phAborted
 	m.stats.Aborted++
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
 	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
 	if f.result != nil {
 		f.result.Set(wire.OutcomeAbort)
@@ -341,6 +350,7 @@ func (m *Manager) onPrepare(msg *wire.Msg) {
 		lsn, err := m.log.Append(rec)
 		if err == nil {
 			err = m.log.Force(lsn)
+			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
 		m.mu.Lock()
 		if m.families[f.id] != f {
@@ -355,6 +365,7 @@ func (m *Manager) onPrepare(msg *wire.Msg) {
 		}
 		f.ph = phPrepared
 		f.prepared = true
+		m.tr.PhaseBegin(m.cfg.Site, msg.TID, "prepared")
 		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteYes})
 		m.scheduleLocked(f, m.cfg.InquireInterval)
 		m.mu.Unlock()
@@ -395,6 +406,7 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 		// the lazily written record is stable, because the
 		// coordinator must not forget first.
 		f.ph = phCommitted
+		m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
 		m.mu.Unlock()
 		m.applyLocal(parts, f.id, true)
 		lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
@@ -427,10 +439,12 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 	// Unoptimized (and semi-optimized) path: force the commit record,
 	// and only then drop locks and acknowledge.
 	f.ph = phCommitted
+	m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
 	m.mu.Unlock()
 	lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
 	if err == nil {
 		err = m.log.Force(lsn)
+		m.tr.LogForce(m.cfg.Site, msg.TID, wal.RecCommit.String())
 	}
 	m.applyLocal(parts, f.id, true)
 	m.mu.Lock()
@@ -451,6 +465,7 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 func (m *Manager) localAbortLocked(f *family) {
 	f.ph = phAborted
 	m.stats.Aborted++
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepared")
 	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
 	m.releaseLocalLocked(f, false)
 	m.forgetLocked(f)
@@ -469,6 +484,7 @@ func (m *Manager) voteRound(parts []server.Participant, opts Options) wire.Vote 
 	}
 	// Identical parallel operations are assumed to proceed in
 	// parallel (§4.2): one IPC round covers all local servers.
+	m.tr.IPC(m.cfg.Site)
 	rt.Charge(m.r, m.cfg.Kernel, m.cfg.Params.LocalIPCServer+m.cfg.Params.KernelCPU)
 	combined := wire.VoteReadOnly
 	for _, p := range parts {
@@ -518,6 +534,7 @@ func (m *Manager) releaseLocalLocked(f *family, commit bool) {
 	if len(parts) == 0 {
 		return
 	}
+	m.tr.LockDrop(m.cfg.Site, tid.Top(f.id))
 	oneWay := m.cfg.Params.LocalOneWay + m.cfg.Params.KernelCPU
 	m.r.Go("drop-locks", func() {
 		rt.Charge(m.r, m.cfg.Kernel, oneWay)

@@ -39,7 +39,22 @@ type Kernel struct {
 	blocked  map[*proc]string // parked procs and why, for deadlock reports
 	parked   map[*proc]bool   // procs waiting on their resume channel
 	deadlock string           // report captured before shutdown cleanup
+	hooks    Hooks
 }
+
+// Hooks are optional observation points for tracing the kernel's
+// scheduling decisions. They must not call kernel primitives; the
+// trace collector only records. Nil hooks cost one pointer check.
+type Hooks struct {
+	// ThreadSwitch fires when a thread is resumed, with its name and
+	// the virtual time.
+	ThreadSwitch func(name string, at time.Duration)
+	// TimerFire fires when a timer event spawns its callback thread.
+	TimerFire func(name string, at time.Duration)
+}
+
+// SetHooks installs scheduling observation hooks. Call it before Run.
+func (k *Kernel) SetHooks(h Hooks) { k.hooks = h }
 
 // New returns a kernel whose clock reads zero and whose random source
 // is seeded with seed.
@@ -179,6 +194,9 @@ func (k *Kernel) RunUntil(limit time.Duration) time.Duration {
 			k.running = p
 			delete(k.blocked, p)
 			delete(k.parked, p)
+			if k.hooks.ThreadSwitch != nil {
+				k.hooks.ThreadSwitch(p.name, k.now)
+			}
 			p.resume <- resumeRun
 			<-k.yielded
 			continue
@@ -238,6 +256,9 @@ func (k *Kernel) dispatch(ev *event) {
 	case ev.wake != nil:
 		k.makeRunnable(ev.wake)
 	case ev.spawn != nil:
+		if k.hooks.TimerFire != nil {
+			k.hooks.TimerFire(ev.name, k.now)
+		}
 		k.Go(ev.name, ev.spawn)
 	}
 }

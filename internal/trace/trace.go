@@ -1,0 +1,553 @@
+// Package trace is the commit-protocol observability layer: a
+// per-cluster Collector that records structured events (log forces,
+// datagrams, protocol phases, lock drops, crashes) with virtual
+// timestamps, plus cheap per-site and per-transaction counters.
+//
+// The paper argues that transaction-management performance is
+// dominated by countable primitives — log forces, datagrams, IPCs per
+// commit — and evaluates every protocol variant by exactly those
+// budgets ("the optimization saves one log force per update
+// subordinate"; "a read-only subordinate typically writes no log
+// records and exchanges only one round of messages"). The Collector
+// makes those budgets observable so conformance tests can pin them.
+//
+// Every instrumented component holds a *Collector that may be nil;
+// all methods are nil-safe, so the uninstrumented path costs one
+// pointer check. Within a simulation the Collector performs no
+// runtime primitives except reading the clock, so enabling tracing
+// never perturbs virtual time.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"camelot/internal/rt"
+	"camelot/internal/stats"
+	"camelot/internal/tid"
+)
+
+// Kind discriminates event types.
+type Kind uint8
+
+// Event kinds. EvLogForce is a protocol-issued synchronous force —
+// the unit the paper's budgets count — while EvDeviceWrite is the
+// physical log write that satisfies it; group commit makes the two
+// diverge, which is the whole point of §3.5.
+const (
+	EvInvalid      Kind = iota
+	EvLogAppend         // one record buffered into the site log
+	EvLogForce          // a protocol-issued synchronous force (budget unit)
+	EvDeviceWrite       // one physical log-device write (may cover many forces)
+	EvLogFlush          // background flusher forcing the log tail
+	EvMsgSend           // datagram queued at the sender
+	EvMsgRecv           // datagram delivered at the receiver
+	EvMsgDrop           // datagram lost (loss, crash, partition)
+	EvPhaseBegin        // protocol phase entered at a site
+	EvPhaseEnd          // protocol phase left at a site
+	EvLockDrop          // site told its servers to drop a family's locks
+	EvCrash             // site crashed
+	EvRecover           // site recovered
+	EvThreadSwitch      // simulation kernel resumed a thread
+	EvTimerFire         // simulation kernel fired a timer
+)
+
+var kindNames = map[Kind]string{
+	EvLogAppend: "LogAppend", EvLogForce: "LogForce",
+	EvDeviceWrite: "DeviceWrite", EvLogFlush: "LogFlush",
+	EvMsgSend: "MsgSend", EvMsgRecv: "MsgRecv", EvMsgDrop: "MsgDrop",
+	EvPhaseBegin: "PhaseBegin", EvPhaseEnd: "PhaseEnd",
+	EvLockDrop: "LockDrop", EvCrash: "Crash", EvRecover: "Recover",
+	EvThreadSwitch: "ThreadSwitch", EvTimerFire: "TimerFire",
+}
+
+// String returns the event kind's name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "INVALID"
+}
+
+// Event is one timeline entry. Site is where it happened; Peer is the
+// other endpoint for message events (the destination of a send, the
+// source of a receive). TID is zero for events not attributable to a
+// transaction. Info carries the message kind, record type, phase
+// name, or thread name.
+type Event struct {
+	Seq   uint64
+	At    time.Duration // virtual time
+	Kind  Kind
+	Site  tid.SiteID
+	Peer  tid.SiteID
+	TID   tid.TID
+	Info  string
+	Bytes int
+}
+
+// String renders the event as one timeline line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%10.3fms #%-4d %-12s", float64(e.At)/float64(time.Millisecond), e.Seq, e.Kind)
+	if e.Site != 0 {
+		s += fmt.Sprintf(" %s", e.Site)
+	}
+	switch e.Kind {
+	case EvMsgSend, EvMsgDrop:
+		s += fmt.Sprintf("→%s", e.Peer)
+	case EvMsgRecv:
+		s += fmt.Sprintf("←%s", e.Peer)
+	}
+	if e.Info != "" {
+		s += " " + e.Info
+	}
+	if !e.TID.IsZero() {
+		s += " " + e.TID.String()
+	}
+	if e.Bytes > 0 {
+		s += fmt.Sprintf(" (%dB)", e.Bytes)
+	}
+	return s
+}
+
+// Payload lets the transport describe a datagram payload without
+// depending on the payload's package. wire.Msg implements it.
+type Payload interface {
+	TraceKind() string
+}
+
+// TxPayload additionally attributes the payload to a transaction.
+// Only transaction-manager datagrams implement it; communication-
+// manager RPC traffic is counted per site but not per family, so the
+// per-family message counters measure exactly the commit protocol's
+// datagram budget.
+type TxPayload interface {
+	Payload
+	TraceTID() tid.TID
+}
+
+// SiteCounters aggregates one site's primitive activity.
+type SiteCounters struct {
+	LogAppends   int `json:"log_appends"`   // records buffered
+	LogForces    int `json:"log_forces"`    // protocol-issued synchronous forces
+	DeviceWrites int `json:"device_writes"` // physical log writes
+	BytesWritten int `json:"bytes_written"` // bytes in physical log writes
+	MsgsSent     int `json:"msgs_sent"`     // TM datagrams queued
+	MsgsRecv     int `json:"msgs_recv"`     // TM datagrams delivered
+	MsgsDropped  int `json:"msgs_dropped"`  // TM datagrams lost
+	RPCs         int `json:"rpcs"`          // communication-manager datagrams queued
+	IPCs         int `json:"ipcs"`          // local IPC round trips charged
+}
+
+// FamilyCounters aggregates one transaction family's activity at one
+// site — the per-transaction budget the conformance tests pin.
+type FamilyCounters struct {
+	LogAppends int
+	LogForces  int
+	MsgsSent   int
+	MsgsRecv   int
+}
+
+type phaseKey struct {
+	site  tid.SiteID
+	fam   tid.FamilyID
+	phase string
+}
+
+// Collector accumulates events and counters. Methods are safe for
+// concurrent use and nil-safe: every instrumented call site does
+// exactly one pointer check when tracing is disabled.
+type Collector struct {
+	r rt.Runtime
+
+	mu       sync.Mutex
+	seq      uint64
+	events   []Event
+	sites    map[tid.SiteID]*SiteCounters
+	families map[tid.FamilyID]map[tid.SiteID]*FamilyCounters
+	open     map[phaseKey]time.Duration
+	phaseLat map[string]*stats.Sample
+}
+
+// New returns an empty collector reading timestamps from r.
+func New(r rt.Runtime) *Collector {
+	return &Collector{
+		r:        r,
+		sites:    make(map[tid.SiteID]*SiteCounters),
+		families: make(map[tid.FamilyID]map[tid.SiteID]*FamilyCounters),
+		open:     make(map[phaseKey]time.Duration),
+		phaseLat: make(map[string]*stats.Sample),
+	}
+}
+
+// record appends one event under the lock and returns it for counter
+// updates. Callers hold c.mu.
+func (c *Collector) recordLocked(ev Event) {
+	c.seq++
+	ev.Seq = c.seq
+	ev.At = c.r.Now()
+	c.events = append(c.events, ev)
+}
+
+func (c *Collector) siteLocked(s tid.SiteID) *SiteCounters {
+	sc := c.sites[s]
+	if sc == nil {
+		sc = &SiteCounters{}
+		c.sites[s] = sc
+	}
+	return sc
+}
+
+func (c *Collector) familyLocked(f tid.FamilyID, s tid.SiteID) *FamilyCounters {
+	m := c.families[f]
+	if m == nil {
+		m = make(map[tid.SiteID]*FamilyCounters)
+		c.families[f] = m
+	}
+	fc := m[s]
+	if fc == nil {
+		fc = &FamilyCounters{}
+		m[s] = fc
+	}
+	return fc
+}
+
+// --- recording (all nil-safe) ---
+
+// LogAppend records one record buffered into site's log.
+func (c *Collector) LogAppend(site tid.SiteID, t tid.TID, recType string, bytes int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvLogAppend, Site: site, TID: t, Info: recType, Bytes: bytes})
+	c.siteLocked(site).LogAppends++
+	if !t.IsZero() {
+		c.familyLocked(t.Family, site).LogAppends++
+	}
+}
+
+// LogForce records a protocol-issued synchronous force on behalf of
+// t. This is the budget unit ("two-phase commitment requires one
+// force per site"), independent of how group commit coalesces the
+// underlying device writes.
+func (c *Collector) LogForce(site tid.SiteID, t tid.TID, recType string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvLogForce, Site: site, TID: t, Info: recType})
+	c.siteLocked(site).LogForces++
+	if !t.IsZero() {
+		c.familyLocked(t.Family, site).LogForces++
+	}
+}
+
+// DeviceWrite records one physical log write covering records
+// totalling bytes.
+func (c *Collector) DeviceWrite(site tid.SiteID, records, bytes int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvDeviceWrite, Site: site,
+		Info: fmt.Sprintf("%d rec", records), Bytes: bytes})
+	sc := c.siteLocked(site)
+	sc.DeviceWrites++
+	sc.BytesWritten += bytes
+}
+
+// LogFlush records the background flusher forcing the log tail.
+func (c *Collector) LogFlush(site tid.SiteID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvLogFlush, Site: site})
+}
+
+// MsgSend records a datagram queued at from. payload classification:
+// TxPayload updates the family counters, bare Payload only the site's
+// RPC counter.
+func (c *Collector) MsgSend(from, to tid.SiteID, payload any) {
+	c.msgEvent(EvMsgSend, from, to, payload)
+}
+
+// MsgRecv records a datagram delivered at to.
+func (c *Collector) MsgRecv(to, from tid.SiteID, payload any) {
+	c.msgEvent(EvMsgRecv, to, from, payload)
+}
+
+// MsgDrop records a datagram lost between from and to.
+func (c *Collector) MsgDrop(from, to tid.SiteID, payload any) {
+	c.msgEvent(EvMsgDrop, from, to, payload)
+}
+
+func (c *Collector) msgEvent(kind Kind, site, peer tid.SiteID, payload any) {
+	if c == nil {
+		return
+	}
+	var t tid.TID
+	info := fmt.Sprintf("%T", payload)
+	tm := false
+	if p, ok := payload.(Payload); ok {
+		info = p.TraceKind()
+		if tp, ok := payload.(TxPayload); ok {
+			t = tp.TraceTID()
+			tm = true
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: kind, Site: site, Peer: peer, TID: t, Info: info})
+	sc := c.siteLocked(site)
+	switch kind {
+	case EvMsgSend:
+		if tm {
+			sc.MsgsSent++
+		} else {
+			sc.RPCs++
+		}
+	case EvMsgRecv:
+		if tm {
+			sc.MsgsRecv++
+		}
+	case EvMsgDrop:
+		if tm {
+			sc.MsgsDropped++
+		}
+	}
+	if tm && !t.IsZero() {
+		fc := c.familyLocked(t.Family, site)
+		switch kind {
+		case EvMsgSend:
+			fc.MsgsSent++
+		case EvMsgRecv:
+			fc.MsgsRecv++
+		}
+	}
+}
+
+// PhaseBegin records that site entered the named protocol phase for
+// t and opens a latency measurement.
+func (c *Collector) PhaseBegin(site tid.SiteID, t tid.TID, phase string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvPhaseBegin, Site: site, TID: t, Info: phase})
+	c.open[phaseKey{site, t.Family, phase}] = c.r.Now()
+}
+
+// PhaseEnd closes the named phase, adding its duration to the phase's
+// latency sample. A PhaseEnd with no matching open PhaseBegin is a
+// no-op, so shared completion paths may call it unconditionally.
+func (c *Collector) PhaseEnd(site tid.SiteID, t tid.TID, phase string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := phaseKey{site, t.Family, phase}
+	begin, ok := c.open[key]
+	if !ok {
+		return
+	}
+	delete(c.open, key)
+	c.recordLocked(Event{Kind: EvPhaseEnd, Site: site, TID: t, Info: phase})
+	s := c.phaseLat[phase]
+	if s == nil {
+		s = &stats.Sample{}
+		c.phaseLat[phase] = s
+	}
+	s.AddDuration(c.r.Now() - begin)
+}
+
+// LockDrop records that site told its servers to release t's locks.
+func (c *Collector) LockDrop(site tid.SiteID, t tid.TID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvLockDrop, Site: site, TID: t})
+}
+
+// IPC counts one local IPC round trip at site (no timeline event:
+// IPCs are budget counters, not timeline landmarks).
+func (c *Collector) IPC(site tid.SiteID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.siteLocked(site).IPCs++
+}
+
+// Crash records a site crash.
+func (c *Collector) Crash(site tid.SiteID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvCrash, Site: site})
+}
+
+// Recover records a site recovery.
+func (c *Collector) Recover(site tid.SiteID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvRecover, Site: site})
+}
+
+// ThreadSwitch records the simulation kernel resuming a thread. Wire
+// it to sim.Hooks only when scheduling-level detail is wanted — the
+// volume is high.
+func (c *Collector) ThreadSwitch(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvThreadSwitch, Info: name})
+}
+
+// TimerFire records the simulation kernel firing a timer.
+func (c *Collector) TimerFire(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvTimerFire, Info: name})
+}
+
+// --- reading ---
+
+// Events returns a copy of the timeline in order.
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Site returns site's counters (zero value if never seen).
+func (c *Collector) Site(s tid.SiteID) SiteCounters {
+	if c == nil {
+		return SiteCounters{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sc := c.sites[s]; sc != nil {
+		return *sc
+	}
+	return SiteCounters{}
+}
+
+// Sites returns the ids of all sites with recorded activity, sorted.
+func (c *Collector) Sites() []tid.SiteID {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]tid.SiteID, 0, len(c.sites))
+	for s := range c.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Family returns t's family counters at site (zero value if never
+// seen).
+func (c *Collector) Family(t tid.TID, site tid.SiteID) FamilyCounters {
+	if c == nil {
+		return FamilyCounters{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.families[t.Family]; m != nil {
+		if fc := m[site]; fc != nil {
+			return *fc
+		}
+	}
+	return FamilyCounters{}
+}
+
+// FamilyTotal sums t's family counters across every site.
+func (c *Collector) FamilyTotal(t tid.TID) FamilyCounters {
+	if c == nil {
+		return FamilyCounters{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total FamilyCounters
+	for _, fc := range c.families[t.Family] {
+		total.LogAppends += fc.LogAppends
+		total.LogForces += fc.LogForces
+		total.MsgsSent += fc.MsgsSent
+		total.MsgsRecv += fc.MsgsRecv
+	}
+	return total
+}
+
+// PhaseLatency returns the latency sample for the named phase, or an
+// empty sample. The returned sample is a snapshot copy.
+func (c *Collector) PhaseLatency(phase string) *stats.Sample {
+	if c == nil {
+		return &stats.Sample{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.phaseLat[phase]; s != nil {
+		return s.Clone()
+	}
+	return &stats.Sample{}
+}
+
+// Phases returns the names of all phases with latency samples, sorted.
+func (c *Collector) Phases() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.phaseLat))
+	for p := range c.phaseLat {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears events and counters (phase samples included), so one
+// collector can bracket successive experiments.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq = 0
+	c.events = nil
+	c.sites = make(map[tid.SiteID]*SiteCounters)
+	c.families = make(map[tid.FamilyID]map[tid.SiteID]*FamilyCounters)
+	c.open = make(map[phaseKey]time.Duration)
+	c.phaseLat = make(map[string]*stats.Sample)
+}

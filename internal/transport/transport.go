@@ -16,6 +16,7 @@ import (
 
 	"camelot/internal/rt"
 	"camelot/internal/tid"
+	"camelot/internal/trace"
 )
 
 // Datagram is one unreliable message. Payload is a protocol message
@@ -69,6 +70,7 @@ type Config struct {
 type Network struct {
 	r   rt.Runtime
 	cfg Config
+	tr  *trace.Collector
 
 	mu        rt.Mutex
 	handlers  map[tid.SiteID]Handler
@@ -94,6 +96,10 @@ func NewNetwork(r rt.Runtime, cfg Config) *Network {
 	n.mu = r.NewMutex()
 	return n
 }
+
+// SetTrace installs the event collector (nil disables tracing). Call
+// it before traffic flows.
+func (n *Network) SetTrace(tr *trace.Collector) { n.tr = tr }
 
 // Register installs the datagram handler for site, replacing any
 // previous one (a recovered site re-registers).
@@ -146,8 +152,10 @@ func (n *Network) SendReliable(from, to tid.SiteID, payload any, latency time.Du
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.sent++
+	n.tr.MsgSend(from, to, payload)
 	if n.down[from] {
 		n.dropped++
+		n.tr.MsgDrop(from, to, payload)
 		return
 	}
 	d := Datagram{From: from, To: to, Payload: payload}
@@ -157,10 +165,12 @@ func (n *Network) SendReliable(from, to tid.SiteID, payload any, latency time.Du
 		blocked := n.down[d.To] || n.down[d.From] || n.cut[linkKey(d.From, d.To)]
 		if h == nil || blocked {
 			n.dropped++
+			n.tr.MsgDrop(d.From, d.To, d.Payload)
 			n.mu.Unlock()
 			return
 		}
 		n.delivered++
+		n.tr.MsgRecv(d.To, d.From, d.Payload)
 		n.mu.Unlock()
 		h(d)
 	})
@@ -223,12 +233,15 @@ func (n *Network) jitterLocked() time.Duration {
 // flight when its destination dies is lost too.
 func (n *Network) deliverLocked(d Datagram, leave rt.Time) {
 	n.sent++
+	n.tr.MsgSend(d.From, d.To, d.Payload)
 	if n.down[d.From] {
 		n.dropped++
+		n.tr.MsgDrop(d.From, d.To, d.Payload)
 		return
 	}
 	if n.cfg.LossRate > 0 && n.r.Rand().Float64() < n.cfg.LossRate {
 		n.dropped++
+		n.tr.MsgDrop(d.From, d.To, d.Payload)
 		return
 	}
 	arriveIn := leave - n.r.Now() + n.cfg.Latency
@@ -238,10 +251,12 @@ func (n *Network) deliverLocked(d Datagram, leave rt.Time) {
 		blocked := n.down[d.To] || n.down[d.From] || n.cut[linkKey(d.From, d.To)]
 		if h == nil || blocked {
 			n.dropped++
+			n.tr.MsgDrop(d.From, d.To, d.Payload)
 			n.mu.Unlock()
 			return
 		}
 		n.delivered++
+		n.tr.MsgRecv(d.To, d.From, d.Payload)
 		n.mu.Unlock()
 		h(d)
 	})

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"camelot/internal/rt"
+	"camelot/internal/tid"
+	"camelot/internal/trace"
 )
 
 // ErrClosed is returned by log operations after Close or a simulated
@@ -29,6 +31,10 @@ type Config struct {
 	// commit record under the delayed-commit optimization) become
 	// durable without an explicit force.
 	FlushInterval time.Duration
+	// Site identifies this log's site in trace events.
+	Site tid.SiteID
+	// Trace, if non-nil, receives append/device-write/flush events.
+	Trace *trace.Collector
 }
 
 // Log is one site's stable-storage log. Appends are buffered; Force
@@ -82,6 +88,9 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 		l.oldest = l.r.Now()
 	}
 	l.buffered = append(l.buffered, rec)
+	if l.cfg.Trace != nil {
+		l.cfg.Trace.LogAppend(l.cfg.Site, rec.TID, rec.Type.String(), len(marshal(rec)))
+	}
 	return rec.LSN, nil
 }
 
@@ -240,12 +249,16 @@ func (l *Log) writer() {
 			l.r.Sleep(l.cfg.ForceLatency)
 		}
 		failed := false
+		bytes := 0
 		for _, rec := range batch {
-			if err := l.store.Append(marshal(rec)); err != nil {
+			b := marshal(rec)
+			bytes += len(b)
+			if err := l.store.Append(b); err != nil {
 				failed = true
 				break
 			}
 		}
+		l.cfg.Trace.DeviceWrite(l.cfg.Site, len(batch), bytes)
 		l.mu.Lock()
 		if failed {
 			l.closed = true
@@ -275,6 +288,7 @@ func (l *Log) flusher() {
 			return
 		}
 		if len(l.buffered) > 0 && l.r.Now()-l.oldest >= l.cfg.FlushInterval {
+			l.cfg.Trace.LogFlush(l.cfg.Site)
 			l.reqs = append(l.reqs, l.nextLSN-1)
 			l.cond.Broadcast()
 		}

@@ -192,6 +192,20 @@ type Msg struct {
 	AckTIDs []tid.TID
 }
 
+// TraceKind names the message for trace timelines (trace.Payload).
+func (m *Msg) TraceKind() string { return m.Kind.String() }
+
+// TraceTID attributes the datagram to a transaction for trace
+// counters (trace.TxPayload). A pure ack batch carries no header TID;
+// it is attributed to its first piggybacked ack so single-transaction
+// budget tests see it.
+func (m *Msg) TraceTID() tid.TID {
+	if m.TID.IsZero() && len(m.AckTIDs) > 0 {
+		return m.AckTIDs[0]
+	}
+	return m.TID
+}
+
 // SiteVote pairs a participant with its phase-one vote.
 type SiteVote struct {
 	Site tid.SiteID
