@@ -1,11 +1,11 @@
 # Build and verification entry points. `make check` is the gate a
 # change must pass before merging: formatting, vet, a full build, the
-# entire test suite under the race detector, and a short pass over the
-# fault-injection torture suite.
+# camelot-lint determinism suite, the entire test suite under the race
+# detector, and a short pass over the fault-injection torture suite.
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race torture golden
+.PHONY: all build test check fmt vet lint race torture golden
 
 all: build
 
@@ -24,6 +24,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# camelot-lint statically enforces the simulation-determinism and
+# protocol-invariant rules (see DESIGN.md §8): no unordered map
+# iteration, wall-clock reads, or raw goroutines in simulated code,
+# and no wal force without its trace event.
+lint:
+	$(GO) run ./cmd/camelot-lint ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -33,9 +40,11 @@ torture:
 	$(GO) test -short -run TestAtomicityUnderRandomFaults ./camelot
 
 # Regenerate the camelot-trace golden files after an intended change
-# to the event schema or the simulation timeline.
-golden:
+# to the event schema or the simulation timeline. Lints first: goldens
+# regenerated from a tree that breaks the determinism rules would bake
+# a nondeterministic timeline into the repository.
+golden: lint
 	$(GO) test ./cmd/camelot-trace -update
 
-check: fmt vet build race torture
+check: fmt vet build lint race torture
 	@echo "check: OK"

@@ -29,6 +29,7 @@ import (
 
 	"camelot/internal/commman"
 	"camelot/internal/core"
+	"camelot/internal/det"
 	"camelot/internal/diskman"
 	"camelot/internal/params"
 	"camelot/internal/rt"
@@ -298,11 +299,8 @@ func (n *Node) Recover() {
 	if !n.crashed {
 		return
 	}
-	names := make([]string, 0, len(n.servers))
-	for name := range n.servers {
-		names = append(names, name)
-	}
-	n.start(names)
+	// Sorted so servers restart in the same order every replay.
+	n.start(det.SortedKeys(n.servers))
 	n.cluster.tr.Recover(n.id)
 	n.cluster.net.SetDown(n.id, false)
 	recoverNode(n)

@@ -1,6 +1,7 @@
 package camelot
 
 import (
+	"camelot/internal/det"
 	"camelot/internal/diskman"
 	"camelot/internal/server"
 	"camelot/internal/tid"
@@ -27,12 +28,14 @@ func recoverNode(n *Node) {
 	// inquiries and presumed-abort inquiries for pre-crash
 	// transactions answer correctly.
 	var committed, aborted []tid.FamilyID
+	//lint:ordered feeds a resolved-outcome set; insertion order is unobservable
 	for t := range a.Committed {
 		committed = append(committed, t.Family)
 	}
 	for _, t := range base.Committed {
 		committed = append(committed, t.Family)
 	}
+	//lint:ordered feeds a resolved-outcome set; insertion order is unobservable
 	for t := range a.Aborted {
 		if t.IsTop() {
 			aborted = append(aborted, t.Family)
@@ -45,9 +48,9 @@ func recoverNode(n *Node) {
 
 	// Install the recovered image (page base + redone tail) into each
 	// server.
-	for name, kv := range data {
+	for _, name := range det.SortedKeys(data) {
 		if srv := n.servers[name]; srv != nil {
-			srv.Install(kv)
+			srv.Install(data[name])
 		}
 	}
 
@@ -55,11 +58,12 @@ func recoverNode(n *Node) {
 	// that will resolve them.
 	for _, d := range a.InDoubt {
 		var parts []server.Participant
-		for name, recs := range d.Updates {
+		for _, name := range det.SortedKeys(d.Updates) {
 			srv := n.servers[name]
 			if srv == nil {
 				continue
 			}
+			recs := d.Updates[name]
 			ups := make([]server.RecoveredUpdate, 0, len(recs))
 			for _, r := range recs {
 				ups = append(ups, server.RecoveredUpdate{Key: r.Key, Old: r.Old, New: r.New})

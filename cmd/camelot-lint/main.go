@@ -1,0 +1,106 @@
+// Command camelot-lint statically enforces the repository's
+// determinism and protocol-invariant rules. It runs the
+// internal/lint suite — maprange, walltime, rawgo, tracepair — over
+// the module with each analyzer scoped to the packages its rule
+// governs, prints findings as file:line:col: message [analyzer], and
+// exits 1 if there are any.
+//
+// Usage:
+//
+//	camelot-lint [./... | ./pkg/dir ...]
+//
+// With no arguments (or "./...") the whole module is checked.
+// Sites exempt from a rule carry a `//lint:<rule> <why>` directive;
+// a directive without a justification is itself a finding.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"camelot/internal/lint"
+)
+
+const modPath = "camelot"
+
+func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "-h" || os.Args[1] == "--help") {
+		usage()
+		return
+	}
+	modRoot, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	args := os.Args[1:]
+	var diags []lint.Diagnostic
+	if len(args) == 0 || (len(args) == 1 && args[0] == "./...") {
+		diags, err = lint.RunModule(modRoot, modPath)
+	} else {
+		pkgs := make([]string, 0, len(args))
+		for _, a := range args {
+			pkgs = append(pkgs, importPath(a))
+		}
+		diags, err = lint.RunPackages(modRoot, modPath, pkgs)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Println("camelot-lint [./... | ./pkg/dir ...]")
+	fmt.Println()
+	fmt.Println("analyzers:")
+	for _, a := range lint.Analyzers {
+		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+	}
+}
+
+// importPath maps a command-line argument (a ./-relative directory or
+// an import path) onto a module import path.
+func importPath(arg string) string {
+	arg = strings.TrimSuffix(arg, "/...")
+	arg = filepath.ToSlash(filepath.Clean(arg))
+	arg = strings.TrimPrefix(arg, "./")
+	if arg == "." || arg == "" {
+		return modPath
+	}
+	if arg == modPath || strings.HasPrefix(arg, modPath+"/") {
+		return arg
+	}
+	return modPath + "/" + arg
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, returning a relative path when possible so findings print
+// as repo-relative positions.
+func findModuleRoot() (string, error) {
+	dir := "."
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return "", err
+		}
+		if abs == filepath.Dir(abs) {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = filepath.Join(dir, "..")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "camelot-lint:", err)
+	os.Exit(2)
+}

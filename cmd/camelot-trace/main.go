@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +23,6 @@ import (
 	"camelot/internal/exp"
 	"camelot/internal/params"
 	"camelot/internal/sim"
-	"camelot/internal/trace"
 )
 
 type options struct {
@@ -164,91 +162,15 @@ func renderText(opts options, c *camelot.Cluster, txid camelot.TID, commit time.
 	return sb.String()
 }
 
-// jsonReport is the -json schema; field order is fixed by the struct,
-// so output with the same seed is byte-identical.
-type jsonReport struct {
-	Config struct {
-		Sites    int    `json:"sites"`
-		Protocol string `json:"protocol"`
-		Seed     int64  `json:"seed"`
-	} `json:"config"`
-	TID      string         `json:"tid"`
-	CommitMs float64        `json:"commit_ms"`
-	Events   []jsonEvent    `json:"events"`
-	Sites    []jsonSite     `json:"site_counters"`
-	Budget   []jsonBudget   `json:"tx_budget"`
-	Total    jsonBudgetBody `json:"tx_budget_total"`
-}
-
-type jsonEvent struct {
-	Seq   uint64  `json:"seq"`
-	AtMs  float64 `json:"at_ms"`
-	Kind  string  `json:"kind"`
-	Site  string  `json:"site,omitempty"`
-	Peer  string  `json:"peer,omitempty"`
-	TID   string  `json:"tid,omitempty"`
-	Info  string  `json:"info,omitempty"`
-	Bytes int     `json:"bytes,omitempty"`
-}
-
-type jsonSite struct {
-	Site string `json:"site"`
-	trace.SiteCounters
-}
-
-type jsonBudgetBody struct {
-	LogAppends int `json:"log_appends"`
-	LogForces  int `json:"log_forces"`
-	MsgsSent   int `json:"msgs_sent"`
-	MsgsRecv   int `json:"msgs_recv"`
-}
-
-type jsonBudget struct {
-	Site string `json:"site"`
-	jsonBudgetBody
-}
-
+// renderJSON emits the machine-readable report; the schema lives in
+// internal/trace (trace.Report) so other tools can decode it.
 func renderJSON(opts options, c *camelot.Cluster, txid camelot.TID, commit time.Duration) (string, error) {
-	tr := c.Trace()
-	var rep jsonReport
-	rep.Config.Sites = opts.sites
-	rep.Config.Protocol = protocolName(opts.nonblocking)
-	rep.Config.Seed = opts.seed
-	rep.TID = txid.String()
-	rep.CommitMs = ms(commit)
-
-	for _, ev := range tr.Events() {
-		je := jsonEvent{Seq: ev.Seq, AtMs: ms(ev.At), Kind: ev.Kind.String(),
-			Info: ev.Info, Bytes: ev.Bytes}
-		if ev.Site != 0 {
-			je.Site = ev.Site.String()
-		}
-		if ev.Peer != 0 {
-			je.Peer = ev.Peer.String()
-		}
-		if !ev.TID.IsZero() {
-			je.TID = ev.TID.String()
-		}
-		rep.Events = append(rep.Events, je)
-	}
-	for _, s := range tr.Sites() {
-		rep.Sites = append(rep.Sites, jsonSite{Site: s.String(), SiteCounters: tr.Site(s)})
-		fc := tr.Family(txid, s)
-		rep.Budget = append(rep.Budget, jsonBudget{Site: s.String(),
-			jsonBudgetBody: budgetBody(fc)})
-	}
-	rep.Total = budgetBody(tr.FamilyTotal(txid))
-
-	b, err := json.MarshalIndent(&rep, "", "  ")
+	rep := c.Trace().BuildReport(opts.sites, protocolName(opts.nonblocking), opts.seed, txid, commit)
+	b, err := rep.EncodeJSON()
 	if err != nil {
 		return "", err
 	}
-	return string(b) + "\n", nil
-}
-
-func budgetBody(fc trace.FamilyCounters) jsonBudgetBody {
-	return jsonBudgetBody{LogAppends: fc.LogAppends, LogForces: fc.LogForces,
-		MsgsSent: fc.MsgsSent, MsgsRecv: fc.MsgsRecv}
+	return string(b), nil
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"camelot/internal/det"
 	"camelot/internal/params"
 	"camelot/internal/rt"
 	"camelot/internal/server"
@@ -295,7 +296,9 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	for _, f := range m.families {
+	// Sorted so the order futures wake their waiters is replay-stable.
+	for _, id := range det.SortedKeys(m.families) {
+		f := m.families[id]
 		if f.result != nil {
 			// The crash leaves the outcome undetermined: a promoted
 			// subordinate may yet commit this transaction. Reporting

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"camelot/internal/det"
 	"camelot/internal/tid"
 	"camelot/internal/wire"
 )
@@ -57,7 +58,8 @@ func (m *Manager) ackFlusher() {
 			m.mu.Unlock()
 			return
 		}
-		for site, acks := range m.pendingAcks {
+		for _, site := range det.SortedKeys(m.pendingAcks) {
+			acks := m.pendingAcks[site]
 			delete(m.pendingAcks, site)
 			m.stats.AcksStandalone += len(acks)
 			msg := &wire.Msg{Kind: wire.KCommitAck, From: m.cfg.Site, To: site, AckTIDs: acks}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"camelot/internal/det"
 	"camelot/internal/rt"
 	"camelot/internal/tid"
 	"camelot/internal/wire"
@@ -45,14 +46,13 @@ func (m *Manager) commitChild(child tid.TID) (wire.Outcome, error) {
 		parent := tx.parent
 		ptx := f.txns[parent]
 		if ptx != nil {
+			//lint:ordered set union; insertion order is unobservable
 			for s := range tx.sites {
 				ptx.sites[s] = true
 			}
 		}
-		sites := make([]tid.SiteID, 0, len(tx.sites))
-		for s := range tx.sites {
-			sites = append(sites, s)
-		}
+		// Sorted so the notification fan-out below is replay-stable.
+		sites := det.SortedKeys(tx.sites)
 		delete(f.txns, child)
 		parts := m.participantsLocked(f)
 		// Notify remote sites the child touched.
@@ -98,13 +98,14 @@ func (m *Manager) abortChild(child tid.TID) error {
 		sites := make(map[tid.SiteID]bool)
 		doomed := m.subtreeLocked(f, child)
 		for _, d := range doomed {
+			//lint:ordered set union; insertion order is unobservable
 			for s := range d.sites {
 				sites[s] = true
 			}
 			delete(f.txns, d.id)
 		}
 		parts := m.participantsLocked(f)
-		for s := range sites {
+		for _, s := range det.SortedKeys(sites) {
 			m.sendLocked(s, &wire.Msg{Kind: wire.KChildAbort, TID: child})
 		}
 		m.mu.Unlock()
@@ -131,6 +132,7 @@ func (m *Manager) subtreeLocked(f *family, child tid.TID) []*txn {
 	in := map[tid.TID]bool{child: true}
 	for changed {
 		changed = false
+		//lint:ordered fixed-point set computation; callers treat the subtree as a set
 		for id, tx := range f.txns {
 			if !in[id] && in[tx.parent] {
 				in[id] = true
@@ -154,6 +156,7 @@ func (m *Manager) onChildCommit(msg *wire.Msg) {
 		if ptx := f.txns[msg.Parent]; ptx == nil {
 			f.txns[msg.Parent] = &txn{id: msg.Parent, sites: tx.sites}
 		} else {
+			//lint:ordered set union; insertion order is unobservable
 			for s := range tx.sites {
 				ptx.sites[s] = true
 			}

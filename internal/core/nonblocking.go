@@ -77,6 +77,7 @@ func (m *Manager) onNBVote(msg *wire.Msg) {
 		m.nbDecideAbortLocked(f)
 		return
 	}
+	//lint:ordered pure membership test; no effect depends on visit order
 	for s := range f.remoteSites {
 		if _, ok := f.votes[s]; !ok {
 			return
@@ -115,6 +116,7 @@ func (m *Manager) nbBeginReplicationLocked(f *family) {
 
 	// Pick replication targets: update subordinates first, read-only
 	// subordinates only as quorum filler.
+	//lint:ordered set copy; insertion order is unobservable
 	for s := range f.updateSubs {
 		f.replTargets[s] = true
 	}
@@ -192,9 +194,11 @@ func (m *Manager) nbCheckCommitQuorumLocked(f *family) {
 	}
 	// Notify phase. Read-only sites that were not replication targets
 	// have already released and forgotten.
+	//lint:ordered set union; insertion order is unobservable
 	for s := range f.updateSubs {
 		f.acksPending[s] = true
 	}
+	//lint:ordered set union; insertion order is unobservable
 	for s := range f.replTargets {
 		f.acksPending[s] = true
 	}
@@ -222,6 +226,7 @@ func (m *Manager) nbDecideAbortLocked(f *family) {
 	if f.result != nil {
 		f.result.Set(wire.OutcomeAbort)
 	}
+	//lint:ordered set construction; insertion order is unobservable
 	for s := range f.remoteSites {
 		if v, ok := f.votes[s]; ok && (v == wire.VoteNo || v == wire.VoteReadOnly) {
 			continue

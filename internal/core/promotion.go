@@ -113,6 +113,7 @@ func (m *Manager) onNBStatusResp(msg *wire.Msg) {
 // evaluatePromotionLocked applies the quorum-consensus decision rules.
 func (m *Manager) evaluatePromotionLocked(f *family) {
 	replicated, anyCommitted, anyAborted := 0, false, false
+	//lint:ordered commutative aggregation; counts and flags only
 	for _, st := range f.statusResp {
 		switch st {
 		case wire.NBCommitted:

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
+	"camelot/internal/det"
 	"camelot/internal/rt"
 	"camelot/internal/server"
 	"camelot/internal/tid"
@@ -162,6 +162,7 @@ func (m *Manager) onVote(msg *wire.Msg) {
 		m.abortFamilyLocked(f)
 		return
 	}
+	//lint:ordered pure membership test; no effect depends on visit order
 	for s := range f.remoteSites {
 		if _, ok := f.votes[s]; !ok {
 			return // still waiting
@@ -176,6 +177,7 @@ func (m *Manager) onVote(msg *wire.Msg) {
 // "omitted from the second phase".
 func (m *Manager) decideCommit2PCLocked(f *family) {
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
+	//lint:ordered set construction; insertion order is unobservable
 	for s, v := range f.votes {
 		if s != m.cfg.Site && v == wire.VoteYes {
 			f.updateSubs[s] = true
@@ -210,6 +212,7 @@ func (m *Manager) decideCommit2PCLocked(f *family) {
 	}
 	f.ph = phCommitted
 	m.stats.Committed++
+	//lint:ordered set copy; insertion order is unobservable
 	for s := range f.updateSubs {
 		f.acksPending[s] = true
 	}
@@ -260,12 +263,11 @@ func (m *Manager) abortFamilyLocked(f *family) {
 		f.result.Set(wire.OutcomeAbort)
 	}
 	var notify []tid.SiteID
-	for s := range f.remoteSites {
+	for _, s := range det.SortedKeys(f.remoteSites) {
 		if f.votes[s] != wire.VoteNo && f.votes[s] != wire.VoteReadOnly {
 			notify = append(notify, s)
 		}
 	}
-	sort.Slice(notify, func(i, j int) bool { return notify[i] < notify[j] })
 	m.fanoutLocked(notify, &wire.Msg{Kind: wire.KAbort, TID: tid.Top(f.id)}, f.opts.Multicast)
 	m.releaseLocalLocked(f, false)
 	m.forgetLocked(f)
@@ -506,8 +508,8 @@ func (m *Manager) voteRound(parts []server.Participant, opts Options) wire.Vote 
 // run without holding m.mu.
 func (m *Manager) participantsLocked(f *family) []server.Participant {
 	out := make([]server.Participant, 0, len(f.participants))
-	for _, p := range f.participants {
-		out = append(out, boundParticipant{p: p, f: f.id})
+	for _, name := range det.SortedKeys(f.participants) {
+		out = append(out, boundParticipant{p: f.participants[name], f: f.id})
 	}
 	return out
 }
@@ -562,10 +564,5 @@ func optionsFromFlags(fl uint8) Options {
 }
 
 func sortedSites(set map[tid.SiteID]bool) []tid.SiteID {
-	out := make([]tid.SiteID, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return det.SortedKeys(set)
 }

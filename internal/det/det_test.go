@@ -1,0 +1,37 @@
+package det
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint32]string{3: "c", 1: "a", 2: "b"}
+	for i := 0; i < 50; i++ { // map order is randomized; 50 draws would expose instability
+		got := SortedKeys(m)
+		if want := []uint32{1, 2, 3}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type key struct{ a, b uint32 }
+	m := map[key]bool{{2, 1}: true, {1, 2}: true, {1, 1}: true}
+	less := func(x, y key) bool {
+		if x.a != y.a {
+			return x.a < y.a
+		}
+		return x.b < y.b
+	}
+	for i := 0; i < 50; i++ {
+		got := SortedKeysFunc(m, less)
+		want := []key{{1, 1}, {1, 2}, {2, 1}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+		}
+	}
+}

@@ -41,6 +41,7 @@ func Table1() *stats.Table {
 	})), "1.5 ms (local IPC)")
 	hand := make(chan int)
 	done := make(chan struct{})
+	//lint:rawgo host microbenchmark measures a real goroutine handoff
 	go func() {
 		for range hand {
 			hand2 <- 1
@@ -78,11 +79,11 @@ func procCall(a [32]byte) int { return int(a[0]) + int(a[31]) }
 // measure times fn over n iterations and returns the per-iteration
 // cost.
 func measure(n int, fn func()) time.Duration {
-	start := time.Now()
+	start := time.Now() //lint:walltime host microbenchmark deliberately measures real elapsed time
 	for i := 0; i < n; i++ {
 		fn()
 	}
-	return time.Since(start) / time.Duration(n)
+	return time.Since(start) / time.Duration(n) //lint:walltime host microbenchmark deliberately measures real elapsed time
 }
 
 func fmtDur(d time.Duration) string {

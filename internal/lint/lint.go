@@ -1,0 +1,199 @@
+// Package lint is camelot-lint: a suite of static analyzers that
+// machine-check the determinism and protocol-invariant rules the
+// simulation kernel's byte-identical replay depends on. The rules
+// used to live only in reviewers' heads; the deterministic-replay
+// test caught one violation dynamically (unordered map iteration in
+// core/messaging.go's retry fan-out) and these analyzers make that
+// whole bug class impossible to merge.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Report) but is built on the standard library only
+// — go/parser plus go/types with a source importer — because this
+// repository carries no third-party dependencies.
+//
+// Analyzers:
+//
+//   - maprange:  no `for range` over maps in deterministic packages
+//     unless the keys go through internal/det or the site carries a
+//     `//lint:ordered <why>` justification;
+//   - walltime:  no wall-clock reads or global math/rand in simulated
+//     packages — virtual clock (rt.Runtime) and seeded sources only;
+//   - rawgo:     no raw `go` statements outside the cthreads/sim
+//     kernel, where a goroutine would escape the cooperative
+//     scheduler;
+//   - tracepair: every wal force in protocol code emits its matching
+//     trace.LogForce, and PhaseBegin/PhaseEnd literals pair up, so
+//     the paper's budget counters cannot silently drift from the
+//     code.
+//
+// Each analyzer honors a site-level escape hatch: a `//lint:<name>
+// <justification>` comment (alias `//lint:ordered` for maprange) on
+// the offending line or the line above suppresses the report. A bare
+// directive with no justification text is itself a violation — the
+// escape hatch exists to record *why* a site is exempt.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package through its Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier; it doubles as the directive
+	// keyword that suppresses its reports.
+	Name string
+	// Doc is a one-line description, shown by the driver's usage text.
+	Doc string
+	// Run performs the analysis. It returns an error only for
+	// analyzer-internal failures, never for findings.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path (testdata packages use their
+	// directory-relative path).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags      *[]Diagnostic
+	directives map[string]map[int][]directive // filename → line → directives
+}
+
+type directive struct {
+	keyword       string
+	justification string
+	pos           token.Pos
+}
+
+// directiveRE matches the camelot-lint escape hatch. The justification
+// is everything after the keyword.
+var directiveRE = regexp.MustCompile(`^//lint:([a-z]+)(?:\s+(.*\S))?\s*$`)
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// buildDirectives scans every comment in the package once.
+func (p *Pass) buildDirectives() {
+	if p.directives != nil {
+		return
+	}
+	p.directives = make(map[string]map[int][]directive)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.directives[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]directive)
+					p.directives[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line],
+					directive{keyword: m[1], justification: m[2], pos: c.Pos()})
+			}
+		}
+	}
+}
+
+// allowed reports whether a finding at pos is suppressed by a
+// justified //lint:<keyword> directive on the same line or the line
+// immediately above. A directive matching the keyword but lacking a
+// justification does not suppress; instead it is reported once, so an
+// empty escape hatch cannot silently accumulate.
+func (p *Pass) allowed(pos token.Pos, keywords ...string) bool {
+	p.buildDirectives()
+	where := p.Fset.Position(pos)
+	byLine := p.directives[where.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{where.Line, where.Line - 1} {
+		for _, d := range byLine[line] {
+			for _, kw := range keywords {
+				if d.keyword != kw {
+					continue
+				}
+				if d.justification == "" {
+					p.Reportf(d.pos, "//lint:%s directive needs a justification (say why this site is exempt)", kw)
+					return true // suppress the underlying report; the bare directive is the finding
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pkgNameOf resolves an identifier to the import path of the package
+// it names, or "" if the identifier is not a package name.
+func (p *Pass) pkgNameOf(id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// calleeMethod resolves a call of the form recv.Method(...) to the
+// method's *types.Func, or nil.
+func (p *Pass) calleeMethod(call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s := p.Info.Selections[sel]; s != nil {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	// Not a selection: either a package-qualified function or an
+	// unresolved identifier.
+	if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// pkgTail reports whether the object's defining package path is p or
+// ends in "/p" — used so the analyzers recognize both the real
+// camelot/internal/wal and a testdata stand-in named wal.
+func pkgTail(obj types.Object, tail string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == tail || strings.HasSuffix(path, "/"+tail)
+}

@@ -1,0 +1,139 @@
+// Package linttest runs a camelot-lint analyzer over a testdata
+// package and checks its findings against `// want "regexp"`
+// expectation comments, in the manner of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout is GOPATH-style: <testdata>/src/<pkg>/*.go, and
+// testdata packages may import each other by their src-relative paths
+// (the tracepair fixtures import stand-in "wal" and "trace"
+// packages).
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"camelot/internal/lint"
+)
+
+// wantRE matches one expectation comment; several quoted regexps may
+// follow a single `// want`. The block form `/* want "..." */` exists
+// so an expectation can share a line with a `//lint:` directive, which
+// consumes the rest of its line.
+var wantRE = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)$`)
+
+// quotedRE pulls the individual quoted patterns out of a want clause.
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named package from dir/src, applies the analyzer,
+// and reports every mismatch between findings and `// want` comments
+// as a test error.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := lint.NewLoader(lint.Root{Prefix: "", Dir: filepath.Join(dir, "src")})
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgPath, err)
+		}
+		var diags []lint.Diagnostic
+		if err := lint.Analyze(a, pkg, &diags); err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		checkExpectations(t, pkg.Fset, pkg, diags)
+	}
+}
+
+// checkExpectations pairs findings with want comments line by line.
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(qs) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, q := range qs {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	unmatched := make([]lint.Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unmatched = append(unmatched, d)
+		}
+	}
+	sort.Slice(unmatched, func(i, j int) bool { return posLess(unmatched[i], unmatched[j]) })
+	for _, d := range unmatched {
+		t.Errorf("unexpected finding: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func posLess(a, b lint.Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	return a.Pos.Column < b.Pos.Column
+}
+
+// Dir returns the testdata directory next to the calling test,
+// mirroring analysistest.TestData.
+func Dir(elem ...string) string {
+	return filepath.Join(append([]string{"testdata"}, elem...)...)
+}
+
+// Describe renders findings for debugging helper failures.
+func Describe(diags []lint.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Analyzers is the camelot-lint suite, in the order the driver runs
+// them.
+var Analyzers = []*Analyzer{MapRange, WallTime, RawGo, TracePair}
+
+// deterministicPkgs are the packages whose execution must replay
+// byte-identically under the simulation kernel: the protocol core,
+// the kernel itself, the log, the simulated network, the trace layer,
+// and the public assembly that wires them together. internal/det is
+// deliberately absent — it is the one sanctioned home for raw map
+// ranges.
+var deterministicPkgs = map[string]bool{
+	"camelot/camelot":            true,
+	"camelot/internal/core":      true,
+	"camelot/internal/sim":       true,
+	"camelot/internal/wal":       true,
+	"camelot/internal/transport": true,
+	"camelot/internal/trace":     true,
+}
+
+// InScope reports whether the analyzer applies to the package. The
+// scope rules are the repository's determinism policy:
+//
+//   - maprange guards the deterministic packages listed above;
+//   - walltime covers every library package — only internal/rt (the
+//     real-runtime adapter) and the host-side binaries under cmd/ and
+//     examples/ may touch the wall clock;
+//   - rawgo covers the same universe minus the scheduler
+//     implementations (internal/sim, internal/rt, internal/cthreads);
+//   - tracepair covers the protocol code in internal/core.
+func InScope(a *Analyzer, pkgPath string) bool {
+	switch a {
+	case MapRange:
+		return deterministicPkgs[pkgPath]
+	case WallTime:
+		return inLibrary(pkgPath) && pkgPath != "camelot/internal/rt"
+	case RawGo:
+		return inLibrary(pkgPath) &&
+			pkgPath != "camelot/internal/rt" &&
+			pkgPath != "camelot/internal/sim" &&
+			pkgPath != "camelot/internal/cthreads"
+	case TracePair:
+		return pkgPath == "camelot/internal/core"
+	}
+	return false
+}
+
+// RunModule enumerates every package in the module and runs each
+// analyzer over the packages in its scope, returning findings sorted
+// by position. This is the whole of the driver's work; the
+// suite-cleanliness test calls it too, so `go test` and
+// `make lint` can never disagree about the tree.
+func RunModule(modRoot, modPath string) ([]Diagnostic, error) {
+	pkgPaths, err := ModulePackages(modRoot, modPath)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(modRoot, modPath, pkgPaths)
+}
+
+// RunPackages runs the scoped suite over the named packages of the
+// module rooted at modRoot.
+func RunPackages(modRoot, modPath string, pkgPaths []string) ([]Diagnostic, error) {
+	loader := NewLoader(Root{Prefix: modPath, Dir: modRoot})
+	var diags []Diagnostic
+	for _, path := range pkgPaths {
+		var wanted []*Analyzer
+		for _, a := range Analyzers {
+			if InScope(a, path) {
+				wanted = append(wanted, a)
+			}
+		}
+		if len(wanted) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range wanted {
+			if err := Analyze(a, pkg, &diags); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// inLibrary reports whether the package is part of the library proper
+// rather than a host-side binary (cmd/) or runnable doc (examples/).
+func inLibrary(pkgPath string) bool {
+	if pkgPath != "camelot" && !strings.HasPrefix(pkgPath, "camelot/") {
+		return false
+	}
+	return !strings.HasPrefix(pkgPath, "camelot/cmd/") &&
+		!strings.HasPrefix(pkgPath, "camelot/examples/")
+}

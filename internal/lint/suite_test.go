@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"camelot/internal/lint"
+)
+
+// TestSuiteCleanOverRepo runs the scoped suite over the real module
+// and demands zero findings: every violation is either fixed or
+// carries a justified //lint: directive. This is the same entry point
+// cmd/camelot-lint uses, so `go test` and `make lint` cannot
+// disagree.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunModule(modRoot, "camelot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestScope pins the determinism policy: which analyzer watches which
+// package.
+func TestScope(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		pkg      string
+		want     bool
+	}{
+		{lint.MapRange, "camelot/internal/core", true},
+		{lint.MapRange, "camelot/internal/sim", true},
+		{lint.MapRange, "camelot/internal/det", false}, // the sanctioned range site
+		{lint.MapRange, "camelot/internal/exp", false},
+		{lint.WallTime, "camelot/internal/core", true},
+		{lint.WallTime, "camelot/internal/exp", true},
+		{lint.WallTime, "camelot/internal/rt", false}, // the real-runtime adapter
+		{lint.WallTime, "camelot/cmd/camelot-trace", false},
+		{lint.RawGo, "camelot/internal/transport", true},
+		{lint.RawGo, "camelot/internal/sim", false}, // the scheduler itself
+		{lint.RawGo, "camelot/internal/cthreads", false},
+		{lint.RawGo, "camelot/examples/demo", false},
+		{lint.TracePair, "camelot/internal/core", true},
+		{lint.TracePair, "camelot/internal/wal", false},
+	}
+	for _, c := range cases {
+		if got := lint.InScope(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("InScope(%s, %s) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}

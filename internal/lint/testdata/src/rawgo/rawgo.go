@@ -1,0 +1,27 @@
+// Package rawgo exercises the rawgo analyzer: raw go statements are
+// flagged unless carried by a justified //lint:rawgo directive.
+package rawgo
+
+func spawn(fn func()) {
+	go fn() // want "escapes the cooperative scheduler"
+}
+
+func nested(fn func()) {
+	wrap := func() {
+		go fn() // want "escapes the cooperative scheduler"
+	}
+	wrap()
+}
+
+func hostSide(fn func()) {
+	//lint:rawgo host-side read loop runs outside the simulation
+	go fn()
+}
+
+func hostSideSameLine(fn func()) {
+	go fn() //lint:rawgo host-side read loop runs outside the simulation
+}
+
+func bare(fn func()) {
+	go fn() /* want "needs a justification" */ //lint:rawgo
+}

@@ -1,0 +1,11 @@
+// Package trace is a stand-in for camelot/internal/trace with the
+// method set the tracepair analyzer matches on.
+package trace
+
+type Collector struct{}
+
+func (*Collector) LogForce() {}
+
+func (*Collector) PhaseBegin(phase string) {}
+
+func (*Collector) PhaseEnd(phase string) {}

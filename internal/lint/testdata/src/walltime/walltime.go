@@ -1,0 +1,43 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads
+// and the process-global math/rand generator are flagged; seeded
+// sources, type references, and pure time constructors are not.
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want "reads the wall clock"
+	time.Sleep(time.Millisecond)       // want "use rt.Runtime.Sleep"
+	_ = time.Since(time.Time{})        // want "subtract rt.Runtime.Now values"
+	_ = time.After(0)                  // want "use rt.Runtime.After"
+	_ = rand.Intn(10)                  // want "process-global random source"
+	rand.Shuffle(0, func(i, j int) {}) // want "process-global random source"
+}
+
+func good() *rand.Rand {
+	r := rand.New(rand.NewSource(1)) // seeded source: not a finding
+	_ = time.Duration(5)             // pure constructor: not a finding
+	_ = time.Unix(0, 0)
+	_ = r.Intn(10) // method on a seeded *rand.Rand: not a finding
+	return r
+}
+
+type stamped struct {
+	at time.Time // type reference: not a finding
+}
+
+func annotated() time.Time {
+	//lint:walltime host-side benchmark deliberately measures real elapsed time
+	return time.Now()
+}
+
+func annotatedSameLine() {
+	time.Sleep(time.Millisecond) //lint:walltime pacing a host-side tool
+}
+
+func bare() {
+	_ = time.Now() /* want "needs a justification" */ //lint:walltime
+}

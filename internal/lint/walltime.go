@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags wall-clock and ambient-randomness primitives in
+// simulated packages. Protocol and substrate code must read time from
+// its rt.Runtime (virtual clock under sim.Kernel) and randomness from
+// Runtime.Rand or an explicitly seeded source — a single time.Now or
+// global rand.Intn makes a simulation's timeline depend on the host,
+// destroying byte-identical replay. Constructing seeded sources
+// (rand.New, rand.NewSource) stays legal; only the clock reads,
+// sleeps, timers, and the process-global generator are banned.
+//
+// Escape hatch: `//lint:walltime <why>`, for code that deliberately
+// measures the host (the exp microbenchmarks).
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time and global math/rand in simulated packages",
+	Run:  runWallTime,
+}
+
+// bannedTime are the time package's clock/scheduling entry points.
+// Pure constructors and conversions (time.Duration, time.Unix,
+// time.Date) stay legal.
+var bannedTime = map[string]string{
+	"Now":       "read the virtual clock via rt.Runtime.Now",
+	"Since":     "subtract rt.Runtime.Now values",
+	"Until":     "subtract rt.Runtime.Now values",
+	"Sleep":     "use rt.Runtime.Sleep",
+	"After":     "use rt.Runtime.After",
+	"AfterFunc": "use rt.Runtime.After",
+	"Tick":      "use rt.Runtime.After",
+	"NewTimer":  "use rt.Runtime.After",
+	"NewTicker": "use rt.Runtime.After",
+}
+
+// allowedRand are the constructors for explicitly seeded sources;
+// every other math/rand selector reaches the process-global generator
+// (or is the deprecated global Seed) and is banned.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 source constructors
+}
+
+func runWallTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pass.pkgNameOf(id) {
+			case "time":
+				hint, banned := bannedTime[sel.Sel.Name]
+				if !banned || pass.allowed(sel.Pos(), "walltime") {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock and breaks deterministic replay; %s (or justify with //lint:walltime)",
+					sel.Sel.Name, hint)
+			case "math/rand", "math/rand/v2":
+				// Types (rand.Rand, rand.Source) and seeded-source
+				// constructors are fine; anything else is the global
+				// generator.
+				if allowedRand[sel.Sel.Name] || !isFuncUse(pass, sel.Sel) {
+					return true
+				}
+				if pass.allowed(sel.Pos(), "walltime") {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the process-global random source; use rt.Runtime.Rand or a seeded rand.New (or justify with //lint:walltime)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFuncUse reports whether id resolves to a function or variable (as
+// opposed to a type or constant), so `rand.Rand` in a declaration is
+// not flagged.
+func isFuncUse(pass *Pass, id *ast.Ident) bool {
+	switch pass.Info.Uses[id].(type) {
+	case *types.Func, *types.Var:
+		return true
+	}
+	return false
+}

@@ -231,6 +231,7 @@ func (k *Kernel) Deadlocked() string { return k.deadlock }
 
 func (k *Kernel) describeBlocked() string {
 	var lines []string
+	//lint:ordered collect-then-sort; the sort below fixes the order
 	for p, why := range k.blocked {
 		lines = append(lines, fmt.Sprintf("  %s: %s", p.name, why))
 	}
@@ -273,6 +274,7 @@ func (k *Kernel) killParked() {
 		k.kill(p)
 	}
 	k.runq = nil
+	//lint:ordered teardown after the loop ends; nothing simulated observes it
 	for p := range k.parked {
 		delete(k.parked, p)
 		delete(k.blocked, p)

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"camelot/internal/tid"
+)
+
+// Report is the machine-readable trace report: the schema behind
+// `camelot-trace -json` and its golden files. Field order is fixed by
+// the struct, so encoding a report built from the same seed is
+// byte-identical across runs.
+type Report struct {
+	Config struct {
+		Sites    int    `json:"sites"`
+		Protocol string `json:"protocol"`
+		Seed     int64  `json:"seed"`
+	} `json:"config"`
+	TID      string         `json:"tid"`
+	CommitMs float64        `json:"commit_ms"`
+	Events   []ReportEvent  `json:"events"`
+	Sites    []ReportSite   `json:"site_counters"`
+	Budget   []ReportBudget `json:"tx_budget"`
+	Total    BudgetBody     `json:"tx_budget_total"`
+}
+
+// ReportEvent is one timeline event in report form.
+type ReportEvent struct {
+	Seq   uint64  `json:"seq"`
+	AtMs  float64 `json:"at_ms"`
+	Kind  string  `json:"kind"`
+	Site  string  `json:"site,omitempty"`
+	Peer  string  `json:"peer,omitempty"`
+	TID   string  `json:"tid,omitempty"`
+	Info  string  `json:"info,omitempty"`
+	Bytes int     `json:"bytes,omitempty"`
+}
+
+// ReportSite pairs a site id with its counters.
+type ReportSite struct {
+	Site string `json:"site"`
+	SiteCounters
+}
+
+// BudgetBody is one per-transaction budget row — the counters the
+// paper's commit-protocol analysis budgets per commit.
+type BudgetBody struct {
+	LogAppends int `json:"log_appends"`
+	LogForces  int `json:"log_forces"`
+	MsgsSent   int `json:"msgs_sent"`
+	MsgsRecv   int `json:"msgs_recv"`
+}
+
+// ReportBudget is one site's share of a transaction's budget.
+type ReportBudget struct {
+	Site string `json:"site"`
+	BudgetBody
+}
+
+// BuildReport snapshots the collector into a Report for transaction t:
+// the full event timeline, per-site counters, and the transaction's
+// budget per site and in total. sites/protocol/seed describe the run's
+// configuration; commit is the client-observed commit latency.
+func (c *Collector) BuildReport(sites int, protocol string, seed int64, t tid.TID, commit time.Duration) *Report {
+	rep := &Report{TID: t.String(), CommitMs: reportMs(commit)}
+	rep.Config.Sites = sites
+	rep.Config.Protocol = protocol
+	rep.Config.Seed = seed
+
+	for _, ev := range c.Events() {
+		re := ReportEvent{Seq: ev.Seq, AtMs: reportMs(ev.At), Kind: ev.Kind.String(),
+			Info: ev.Info, Bytes: ev.Bytes}
+		if ev.Site != 0 {
+			re.Site = ev.Site.String()
+		}
+		if ev.Peer != 0 {
+			re.Peer = ev.Peer.String()
+		}
+		if !ev.TID.IsZero() {
+			re.TID = ev.TID.String()
+		}
+		rep.Events = append(rep.Events, re)
+	}
+	for _, s := range c.Sites() {
+		rep.Sites = append(rep.Sites, ReportSite{Site: s.String(), SiteCounters: c.Site(s)})
+		rep.Budget = append(rep.Budget, ReportBudget{Site: s.String(),
+			BudgetBody: reportBudget(c.Family(t, s))})
+	}
+	rep.Total = reportBudget(c.FamilyTotal(t))
+	return rep
+}
+
+// EncodeJSON renders the report in the canonical golden-file form:
+// two-space indentation and a trailing newline.
+func (r *Report) EncodeJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReport parses a report produced by EncodeJSON. Unknown fields
+// are rejected so golden files cannot silently drift from the schema.
+func DecodeReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("trace: decoding report: %w", err)
+	}
+	return &r, nil
+}
+
+func reportBudget(fc FamilyCounters) BudgetBody {
+	return BudgetBody{LogAppends: fc.LogAppends, LogForces: fc.LogForces,
+		MsgsSent: fc.MsgsSent, MsgsRecv: fc.MsgsRecv}
+}
+
+func reportMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

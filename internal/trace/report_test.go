@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenReports returns the camelot-trace golden files, the canonical
+// corpus of real encoded reports.
+func goldenReports(t testing.TB) [][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "cmd", "camelot-trace", "testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden report files found")
+	}
+	var out [][]byte
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestReportGoldenRoundTrip pins that decoding a golden file and
+// re-encoding it reproduces the input byte for byte: the schema in
+// this package and the files on disk cannot drift apart.
+func TestReportGoldenRoundTrip(t *testing.T) {
+	for _, data := range goldenReports(t) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := rep.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Errorf("golden file did not round-trip;\ngot:\n%s\nwant:\n%s", enc, data)
+		}
+	}
+}
+
+func TestDecodeReportRejectsUnknownFields(t *testing.T) {
+	if _, err := DecodeReport([]byte(`{"config":{},"bogus":1}`)); err == nil {
+		t.Fatal("expected an error for an unknown field")
+	}
+}
+
+// FuzzReportJSON checks encode/decode stability on arbitrary inputs:
+// any bytes that decode at all must re-encode to a fixed point —
+// decode(encode(decode(b))) == decode(b) and the two encodings are
+// byte-identical.
+func FuzzReportJSON(f *testing.F) {
+	for _, data := range goldenReports(f) {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"config":{"sites":1,"protocol":"two-phase","seed":1},"tid":"t","commit_ms":0.5,"events":null,"site_counters":null,"tx_budget":null,"tx_budget_total":{"log_appends":0,"log_forces":0,"msgs_sent":0,"msgs_recv":0}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return // not a report; nothing to check
+		}
+		enc1, err := rep.EncodeJSON()
+		if err != nil {
+			t.Fatalf("report decoded from %q failed to encode: %v", data, err)
+		}
+		rep2, err := DecodeReport(enc1)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v\nencoding:\n%s", err, enc1)
+		}
+		enc2, err := rep2.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Errorf("encoding is not a fixed point;\nfirst:\n%s\nsecond:\n%s", enc1, enc2)
+		}
+	})
+}

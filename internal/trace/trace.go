@@ -20,10 +20,10 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
+	"camelot/internal/det"
 	"camelot/internal/rt"
 	"camelot/internal/stats"
 	"camelot/internal/tid"
@@ -466,12 +466,7 @@ func (c *Collector) Sites() []tid.SiteID {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]tid.SiteID, 0, len(c.sites))
-	for s := range c.sites {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return det.SortedKeys(c.sites)
 }
 
 // Family returns t's family counters at site (zero value if never
@@ -498,6 +493,7 @@ func (c *Collector) FamilyTotal(t tid.TID) FamilyCounters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var total FamilyCounters
+	//lint:ordered commutative sum; visit order cannot be observed
 	for _, fc := range c.families[t.Family] {
 		total.LogAppends += fc.LogAppends
 		total.LogForces += fc.LogForces
@@ -528,12 +524,7 @@ func (c *Collector) Phases() []string {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.phaseLat))
-	for p := range c.phaseLat {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
+	return det.SortedKeys(c.phaseLat)
 }
 
 // Reset clears events and counters (phase samples included), so one
