@@ -215,6 +215,9 @@ func (n *Node) start(keepServers []string) {
 		AckFlushInterval: c.cfg.AckFlushInterval,
 		Trace:            c.tr,
 	}, n.log, c.net)
+	// Outcomes absorbed into the checkpoint image are truncated from
+	// the TM's resolved memory; the image answers for them instead.
+	n.tm.SetResolvedBackstop(n.pages.Outcome)
 	n.comm = commman.New(c.r, n.id, c.net, c.names, n.tm, c.cfg.Params, n.kernel, c.cfg.RPCTimeout)
 	n.servers = make(map[string]*server.Server)
 	for _, name := range keepServers {
@@ -317,5 +320,14 @@ func (n *Node) Checkpoint() (int, error) {
 	if n.crashed {
 		return 0, ErrCrashed
 	}
-	return diskman.Checkpoint(n.id, n.log, n.pages)
+	cut, err := diskman.Checkpoint(n.id, n.log, n.pages)
+	if err != nil {
+		return cut, err
+	}
+	// The image now remembers every absorbed outcome durably; drop
+	// them from the TM's unbounded in-memory map (Stats.ResolvedRetained
+	// measures what stays). Inquiries for truncated families fall
+	// through to the PageStore backstop installed in start.
+	n.tm.TruncateResolved(n.pages.AbsorbedFamilies())
+	return cut, nil
 }

@@ -6,6 +6,9 @@ import (
 	"time"
 
 	"camelot/internal/sim"
+	"camelot/internal/tid"
+	"camelot/internal/trace"
+	"camelot/internal/wire"
 )
 
 func TestCheckpointTruncatesAndRecoverySurvives(t *testing.T) {
@@ -77,6 +80,58 @@ func TestCheckpointWithInFlightDistributedTransaction(t *testing.T) {
 		k.Sleep(time.Second)
 		if v, ok := c.Node(2).Server("srv2").Peek("y"); ok && string(v) != "2" {
 			t.Errorf("y = %q after recovery", v)
+		}
+	})
+}
+
+// TestTruncatedResolvedAnswersInquiryFromImage pins the resolved-map
+// truncation contract: after a checkpoint absorbs a committed
+// family's outcome, TruncateResolved drops it from the TM's in-memory
+// map (Stats.ResolvedRetained goes to zero) — yet a late presumed-
+// abort inquiry for that family must still be answered COMMIT,
+// through the PageStore image backstop. Answering ABORT here would
+// corrupt a subordinate.
+func TestTruncatedResolvedAnswersInquiryFromImage(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trace = true
+	runSim(t, cfg, func(k *sim.Kernel, c *Cluster) {
+		tx, _ := c.Node(1).Begin()
+		tx.Write("srv1", "x", []byte("1")) //nolint:errcheck
+		tx.Write("srv2", "y", []byte("2")) //nolint:errcheck
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		fam := tx.ID().Family
+		k.Sleep(500 * time.Millisecond) // acks drain; coordinator forgets
+
+		if got := c.Node(1).TM().Stats().ResolvedRetained; got == 0 {
+			t.Fatal("resolved outcome not retained before checkpoint")
+		}
+		if cut, err := c.Node(1).Checkpoint(); err != nil || cut == 0 {
+			t.Fatalf("Checkpoint = %d, %v", cut, err)
+		}
+		if got := c.Node(1).TM().Stats().ResolvedRetained; got != 0 {
+			t.Fatalf("ResolvedRetained = %d after checkpoint, want 0 (truncation)", got)
+		}
+
+		// Inject the late inquiry a recovering subordinate would send.
+		mark := len(c.Trace().Events())
+		c.Network().Send(2, 1, &wire.Msg{Kind: wire.KInquire, TID: tid.Top(fam), From: 2, To: 1})
+		k.Sleep(100 * time.Millisecond)
+
+		var answered bool
+		for _, ev := range c.Trace().Events()[mark:] {
+			if ev.Kind == trace.EvMsgSend && ev.Site == 1 && ev.Peer == 2 {
+				switch ev.Info {
+				case "COMMIT":
+					answered = true
+				case "ABORT":
+					t.Fatal("truncated committed family answered ABORT: image backstop not consulted")
+				}
+			}
+		}
+		if !answered {
+			t.Fatal("inquiry for truncated family never answered")
 		}
 	})
 }

@@ -13,7 +13,7 @@ import (
 // in-doubt updates under re-acquired locks, and resume unresolved
 // commitments.
 func recoverNode(n *Node) {
-	a, data, base, err := diskman.Recover(n.id, n.log, n.pages)
+	a, data, _, err := diskman.Recover(n.id, n.log, n.pages)
 	if err != nil {
 		return
 	}
@@ -23,16 +23,14 @@ func recoverNode(n *Node) {
 	// or never-forced) in the crashed incarnation.
 	n.tm.SetFamilyFloor(a.MaxLocalFamily + 1000)
 
-	// Restore the resolved-outcome memory — from the log tail and
-	// from outcomes absorbed into the page image — so status
-	// inquiries and presumed-abort inquiries for pre-crash
-	// transactions answer correctly.
+	// Restore the resolved-outcome memory from the retained log tail
+	// only, so status inquiries and presumed-abort inquiries for
+	// pre-crash transactions answer correctly. Outcomes absorbed into
+	// the page image stay out of RAM: the PageStore backstop wired in
+	// start answers for them directly.
 	var committed, aborted []tid.FamilyID
 	//lint:ordered feeds a resolved-outcome set; insertion order is unobservable
 	for t := range a.Committed {
-		committed = append(committed, t.Family)
-	}
-	for _, t := range base.Committed {
 		committed = append(committed, t.Family)
 	}
 	//lint:ordered feeds a resolved-outcome set; insertion order is unobservable
@@ -40,9 +38,6 @@ func recoverNode(n *Node) {
 		if t.IsTop() {
 			aborted = append(aborted, t.Family)
 		}
-	}
-	for _, t := range base.Aborted {
-		aborted = append(aborted, t.Family)
 	}
 	n.tm.RestoreResolved(committed, aborted)
 

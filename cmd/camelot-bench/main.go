@@ -5,23 +5,34 @@
 //
 // Usage:
 //
-//	camelot-bench [-quick] [-only <experiment>]
+//	camelot-bench [-quick] [-json] [-realtime] [-only <experiment>]
 //
 // Experiments: table1 table2 table3 figure1 figure2 figure3 figure4
-// figure5 rpc multicast contention ablations
+// figure5 rpc multicast contention ablations realtime
+//
+// -json emits the camelot-bench/v1 machine-readable report instead of
+// text, so successive commits can archive BENCH_*.json files and
+// track a performance trajectory. -realtime appends the host-
+// dependent multi-family scaling experiment (R1), which measures this
+// machine rather than the simulated testbed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"camelot/internal/exp"
 	"camelot/internal/params"
+	"camelot/internal/stats"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "fewer trials; finishes in seconds")
+	jsonOut := flag.Bool("json", false, "emit the camelot-bench/v1 JSON report")
+	realtime := flag.Bool("realtime", false, "include the real-runtime scaling experiment (host-dependent)")
 	only := flag.String("only", "", "run a single experiment by name")
 	flag.Parse()
 
@@ -33,8 +44,31 @@ func main() {
 	vax := params.VAX()
 	w := os.Stdout
 
+	scaling := func() *stats.Table {
+		return exp.RealtimeScaling([]int{1, 2, 4}, 8, 300*time.Millisecond)
+	}
+
+	if *jsonOut {
+		rep := exp.RunAllJSON(*quick)
+		if *realtime {
+			rep.Tables = append(rep.Tables, exp.TableJSON("realtime", scaling()))
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *only == "" {
 		exp.RunAll(w, *quick)
+		if *realtime {
+			fmt.Fprintln(w, "\n== R1: real-runtime family scaling (this host) ==")
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, scaling())
+		}
 		return
 	}
 	switch *only {
@@ -66,6 +100,8 @@ func main() {
 		fmt.Fprintln(w, exp.AblationGroupCommit(vax))
 		fmt.Fprintln(w, exp.AblationReadOnly(paper, trials))
 		fmt.Fprintln(w, exp.AblationCommitVariants(paper, trials))
+	case "realtime":
+		fmt.Fprintln(w, scaling())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

@@ -139,9 +139,22 @@ type Stats struct {
 	Inquiries       int
 	AcksPiggybacked int
 	AcksStandalone  int
+	// ResolvedRetained is the number of finished families whose
+	// outcome is still held in memory to answer status inquiries. It
+	// grows until checkpoint truncation (TruncateResolved) folds
+	// resolved outcomes into the checkpoint image — the bound on what
+	// was previously an unbounded map.
+	ResolvedRetained int
 }
 
 // Manager is one site's transaction manager.
+//
+// Concurrency follows §3.4's two-level structure (see locks.go and
+// DESIGN.md §3.4): the family table is sharded with short-held shard
+// locks, each family descriptor carries its own mutex serializing all
+// protocol work on that family, and the manager-wide leftovers live
+// behind small component locks. There is no manager-wide mutex, so
+// distinct families commit in parallel on the real runtime.
 type Manager struct {
 	r   rt.Runtime
 	cfg Config
@@ -151,23 +164,41 @@ type Manager struct {
 
 	queue *rt.Queue[func()]
 
-	mu          rt.Mutex
-	families    map[tid.FamilyID]*family
-	nextFamily  uint32
-	nextChild   uint32
+	// fams is the level-one table of family descriptors.
+	fams *familyTable
+
+	// idMu guards the identifier counters.
+	idMu       rt.Mutex
+	nextFamily uint32
+	nextChild  uint32
+
+	// ackMu guards the delayed-ack batches and the datagram sequence
+	// counter (every outbound send stamps one).
+	ackMu       rt.Mutex
 	pendingAcks map[tid.SiteID][]tid.TID
-	// resolved remembers the outcome of every finished family. It is
-	// what lets this site answer a promoted coordinator's status
-	// inquiry (or an abort-intent solicitation) correctly for a
-	// transaction it has already forgotten — without it, survivors of
-	// a coordinator crash could assemble an abort quorum for a
-	// transaction that committed everywhere. Recovery repopulates it
-	// from the log. Truncating it requires log garbage collection,
-	// which Camelot also deferred.
-	resolved map[tid.FamilyID]wire.Outcome
-	seq      uint64
-	closed   bool
-	stats    Stats
+	seq         uint64
+
+	// resMu guards the resolved-outcome memory: the outcome of every
+	// finished family. It is what lets this site answer a promoted
+	// coordinator's status inquiry (or an abort-intent solicitation)
+	// correctly for a transaction it has already forgotten — without
+	// it, survivors of a coordinator crash could assemble an abort
+	// quorum for a transaction that committed everywhere. Recovery
+	// repopulates it from the log; checkpointing truncates it
+	// (TruncateResolved) once the checkpoint image absorbs the
+	// outcome, with resolvedBackstop answering for truncated families
+	// from that image.
+	resMu            rt.Mutex
+	resolved         map[tid.FamilyID]wire.Outcome
+	resolvedBackstop func(tid.FamilyID) wire.Outcome
+
+	// lifeMu guards the shutdown flag.
+	lifeMu rt.Mutex
+	closed bool
+
+	// stMu guards the protocol counters.
+	stMu  rt.Mutex
+	stats Stats
 }
 
 // phase is a family's position in its commitment protocol at this
@@ -186,8 +217,17 @@ const (
 
 // family is the per-family descriptor: "the principal data structure
 // is a hash table of family descriptors, each with an attached hash
-// table of transaction descriptors" (§3.4).
+// table of transaction descriptors" (§3.4). Its mutex is the second
+// locking level: all protocol work on the family runs under it, and
+// it is released around log forces and vote rounds exactly as the
+// old global lock was (relockFamily re-checks liveness afterwards).
 type family struct {
+	mu rt.Mutex
+	// gone marks a forgotten descriptor. Set under mu by forget; a
+	// thread that re-acquires mu must re-check it before acting. The
+	// table entry is unlinked by unlockFamily after mu is released.
+	gone bool
+
 	id    tid.FamilyID
 	opts  Options
 	ph    phase
@@ -243,11 +283,15 @@ func New(r rt.Runtime, cfg Config, log *wal.Log, net transport.Sender) *Manager 
 		log:         log,
 		net:         net,
 		tr:          cfg.Trace,
-		families:    make(map[tid.FamilyID]*family),
+		fams:        newFamilyTable(r),
 		pendingAcks: make(map[tid.SiteID][]tid.TID),
 		resolved:    make(map[tid.FamilyID]wire.Outcome),
 	}
-	m.mu = r.NewMutex()
+	m.idMu = r.NewMutex()
+	m.ackMu = r.NewMutex()
+	m.resMu = r.NewMutex()
+	m.lifeMu = r.NewMutex()
+	m.stMu = r.NewMutex()
 	m.queue = rt.NewQueue[func()](r)
 	for i := 0; i < cfg.Threads; i++ {
 		m.r.Go(fmt.Sprintf("tranman%d-worker%d", cfg.Site, i), m.worker)
@@ -269,8 +313,8 @@ func (m *Manager) Site() tid.SiteID { return m.cfg.Site }
 // recovery process calls it with the highest counter found in the
 // log (plus a safety margin covering transactions that never logged).
 func (m *Manager) SetFamilyFloor(counter uint32) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockAttributed(m.idMu, lockClassIDs)
+	defer m.idMu.Unlock()
 	if counter > m.nextFamily {
 		m.nextFamily = counter
 	}
@@ -278,9 +322,13 @@ func (m *Manager) SetFamilyFloor(counter uint32) {
 
 // Stats returns a snapshot of protocol counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	m.lockAttributed(m.stMu, lockClassStats)
+	s := m.stats
+	m.stMu.Unlock()
+	m.lockAttributed(m.resMu, lockClassResolved)
+	s.ResolvedRetained = len(m.resolved)
+	m.resMu.Unlock()
+	return s
 }
 
 // QueueDepth reports requests waiting for a pool thread.
@@ -290,26 +338,31 @@ func (m *Manager) QueueDepth() int { return m.queue.Len() }
 // abandoned and callers get ErrClosed/aborted outcomes where a thread
 // is still around to deliver them.
 func (m *Manager) Close() {
-	m.mu.Lock()
+	m.lockAttributed(m.lifeMu, lockClassLife)
 	if m.closed {
-		m.mu.Unlock()
+		m.lifeMu.Unlock()
 		return
 	}
 	m.closed = true
+	m.lifeMu.Unlock()
 	// Sorted so the order futures wake their waiters is replay-stable.
-	for _, id := range det.SortedKeys(m.families) {
-		f := m.families[id]
-		if f.result != nil {
-			// The crash leaves the outcome undetermined: a promoted
-			// subordinate may yet commit this transaction. Reporting
-			// abort here would be a lie the client could act on.
-			f.result.Set(wire.OutcomeUnknown)
+	all := m.fams.snapshot()
+	for _, id := range det.SortedKeys(all) {
+		f := all[id]
+		m.lockAttributed(f.mu, lockClassFamily)
+		if !f.gone {
+			if f.result != nil {
+				// The crash leaves the outcome undetermined: a promoted
+				// subordinate may yet commit this transaction. Reporting
+				// abort here would be a lie the client could act on.
+				f.result.Set(wire.OutcomeUnknown)
+			}
+			if f.timer != nil {
+				f.timer.Stop()
+			}
 		}
-		if f.timer != nil {
-			f.timer.Stop()
-		}
+		m.unlockFamily(f)
 	}
-	m.mu.Unlock()
 	m.queue.Close()
 }
 
@@ -344,15 +397,16 @@ func (m *Manager) Begin() (tid.TID, error) {
 	m.chargeClientIPC()
 	fut := rt.NewFuture[tid.TID](m.r)
 	m.queue.Put(func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		m.lockAttributed(m.idMu, lockClassIDs)
 		m.nextFamily++
 		f := tid.MakeFamily(m.cfg.Site, m.nextFamily)
+		m.idMu.Unlock()
 		t := tid.Top(f)
-		fam := m.newFamilyLocked(f)
+		fam, _ := m.lockOrCreateFamily(f) // id is fresh: always created
 		fam.coord = true
 		fam.txns[t] = &txn{id: t, sites: make(map[tid.SiteID]bool)}
-		m.stats.Begun++
+		m.bumpStats(func(s *Stats) { s.Begun++ })
+		m.unlockFamily(fam)
 		fut.Set(t)
 	})
 	t, ok := fut.WaitTimeout(time.Minute)
@@ -368,15 +422,21 @@ func (m *Manager) BeginChild(parent tid.TID) (tid.TID, error) {
 	m.chargeClientIPC()
 	fut := rt.NewFuture[tid.TID](m.r)
 	m.queue.Put(func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		fam := m.families[parent.Family]
-		if fam == nil || fam.txns[parent] == nil {
+		fam := m.lockFamily(parent.Family)
+		if fam == nil {
 			fut.Set(tid.TID{})
 			return
 		}
+		defer m.unlockFamily(fam)
+		if fam.txns[parent] == nil {
+			fut.Set(tid.TID{})
+			return
+		}
+		m.lockAttributed(m.idMu, lockClassIDs)
 		m.nextChild++
-		t := tid.TID{Family: parent.Family, Seq: tid.MakeSeq(m.cfg.Site, m.nextChild)}
+		seq := tid.MakeSeq(m.cfg.Site, m.nextChild)
+		m.idMu.Unlock()
+		t := tid.TID{Family: parent.Family, Seq: seq}
 		fam.txns[t] = &txn{id: t, parent: parent, sites: make(map[tid.SiteID]bool)}
 		fut.Set(t)
 	})
@@ -397,16 +457,12 @@ func (m *Manager) BeginChild(parent tid.TID) (tid.TID, error) {
 func (m *Manager) Join(t, parent tid.TID, p server.Participant) error {
 	fut := rt.NewFuture[error](m.r)
 	m.queue.Put(func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		if m.closed {
+		if m.isClosed() {
 			fut.Set(ErrClosed)
 			return
 		}
-		fam := m.families[t.Family]
-		if fam == nil {
-			fam = m.newFamilyLocked(t.Family)
-		}
+		fam, _ := m.lockOrCreateFamily(t.Family)
+		defer m.unlockFamily(fam)
 		switch fam.ph {
 		case phActive:
 		default:
@@ -423,7 +479,7 @@ func (m *Manager) Join(t, parent tid.TID, p server.Participant) error {
 		// The orphan timer inquires periodically; presumed abort
 		// resolves a transaction the coordinator has forgotten.
 		if t.Family.Origin() != m.cfg.Site && fam.timer == nil {
-			m.scheduleLocked(fam, 4*m.cfg.InquireInterval)
+			m.schedule(fam, 4*m.cfg.InquireInterval)
 		}
 		fut.Set(nil)
 	})
@@ -438,12 +494,11 @@ func (m *Manager) Join(t, parent tid.TID, p server.Participant) error {
 // information the communication manager gleans by spying on
 // response messages (§3.1).
 func (m *Manager) AddSites(t tid.TID, sites []tid.SiteID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fam := m.families[t.Family]
+	fam := m.lockFamily(t.Family)
 	if fam == nil {
 		return
 	}
+	defer m.unlockFamily(fam)
 	for _, s := range sites {
 		if s == m.cfg.Site {
 			continue
@@ -455,47 +510,40 @@ func (m *Manager) AddSites(t tid.TID, sites []tid.SiteID) {
 	}
 }
 
-// newFamilyLocked creates the family descriptor.
-func (m *Manager) newFamilyLocked(f tid.FamilyID) *family {
-	fam := &family{
-		id:           f,
-		participants: make(map[string]server.Participant),
-		txns:         make(map[tid.TID]*txn),
-		remoteSites:  make(map[tid.SiteID]bool),
-		votes:        make(map[tid.SiteID]wire.Vote),
-		updateSubs:   make(map[tid.SiteID]bool),
-		acksPending:  make(map[tid.SiteID]bool),
-	}
-	m.families[f] = fam
-	return fam
-}
-
-// forget removes the family descriptor — permitted only once every
-// site has learned the outcome (§3.3 change 4 for non-blocking;
-// after the last commit-ack for two-phase) — while retaining the
-// final outcome in the resolved map.
-func (m *Manager) forgetLocked(f *family) {
-	if f.timer != nil {
-		f.timer.Stop()
-	}
-	switch f.ph {
-	case phCommitted:
-		m.resolved[f.id] = wire.OutcomeCommit
-	case phAborted:
-		m.resolved[f.id] = wire.OutcomeAbort
-	}
-	delete(m.families, f.id)
-}
-
 // RestoreResolved repopulates the resolved-outcome memory from the
 // recovery analysis.
 func (m *Manager) RestoreResolved(committed, aborted []tid.FamilyID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockAttributed(m.resMu, lockClassResolved)
+	defer m.resMu.Unlock()
 	for _, f := range committed {
 		m.resolved[f] = wire.OutcomeCommit
 	}
 	for _, f := range aborted {
 		m.resolved[f] = wire.OutcomeAbort
+	}
+}
+
+// SetResolvedBackstop installs a fallback consulted when a status
+// inquiry names a family absent from both the family table and the
+// resolved map — the case TruncateResolved creates. The site assembly
+// points it at the checkpoint image's outcome lists. The backstop is
+// called without any manager lock held and must be safe for
+// concurrent use.
+func (m *Manager) SetResolvedBackstop(fn func(tid.FamilyID) wire.Outcome) {
+	m.lockAttributed(m.resMu, lockClassResolved)
+	m.resolvedBackstop = fn
+	m.resMu.Unlock()
+}
+
+// TruncateResolved drops the in-memory outcome of families wholly
+// absorbed by a checkpoint image. Safe because the image (reachable
+// through the resolved backstop) now answers for them; without this,
+// resolved-outcome memory grows without bound on a long-lived site.
+// Stats.ResolvedRetained observes the effect.
+func (m *Manager) TruncateResolved(absorbed []tid.FamilyID) {
+	m.lockAttributed(m.resMu, lockClassResolved)
+	defer m.resMu.Unlock()
+	for _, f := range absorbed {
+		delete(m.resolved, f)
 	}
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"camelot/internal/cthreads"
+	"camelot/internal/rt"
+	"camelot/internal/tid"
+	"camelot/internal/trace"
+	"camelot/internal/transport"
+	"camelot/internal/wal"
+)
+
+// newRealManager builds a manager on the ordinary Go runtime with a
+// trace collector, for white-box locking tests. No site is registered
+// on the network: these tests never run the distributed protocol.
+func newRealManager(t *testing.T) (*Manager, *trace.Collector) {
+	t.Helper()
+	r := rt.Real()
+	tr := trace.New(r)
+	log := wal.Open(r, wal.NewMemStore(), wal.Config{FlushInterval: 5 * time.Millisecond})
+	m := New(r, Config{
+		Site:             1,
+		Threads:          2,
+		RetryInterval:    50 * time.Millisecond,
+		InquireInterval:  50 * time.Millisecond,
+		PromotionTimeout: 100 * time.Millisecond,
+		AckFlushInterval: 10 * time.Millisecond,
+		Trace:            tr,
+	}, log, transport.NewNetwork(r, transport.Config{}))
+	t.Cleanup(func() {
+		m.Close()
+		log.Close()
+	})
+	return m, tr
+}
+
+// TestFamilyLockContentionCounted pins the lock-wait instrumentation
+// on the real runtime: a thread that finds a family lock busy counts
+// one wait in the "family" class before blocking.
+func TestFamilyLockContentionCounted(t *testing.T) {
+	m, tr := newRealManager(t)
+	top, err := m.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+
+	if got := tr.LockWaitTotal(1); got != 0 {
+		t.Fatalf("LockWaitTotal = %d before any contention", got)
+	}
+
+	// Hold the family's lock from the test, then make a second thread
+	// collide on it.
+	f := m.lockFamily(top.Family)
+	if f == nil {
+		t.Fatal("family descriptor missing")
+	}
+	done := make(chan struct{})
+	go func() {
+		g := m.lockFamily(top.Family)
+		m.unlockFamily(g)
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.LockWaitTotal(1) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.unlockFamily(f)
+	<-done
+
+	if got := tr.LockWaits(1)[lockClassFamily]; got == 0 {
+		t.Fatalf("LockWaits[%q] = 0 after a forced collision; waits = %v",
+			lockClassFamily, tr.LockWaits(1))
+	}
+}
+
+// TestIndependentFamiliesDoNotContend checks the point of the §3.4
+// refactor: holding one family's lock does not block work on another
+// family, and no lock wait is counted.
+func TestIndependentFamiliesDoNotContend(t *testing.T) {
+	m, tr := newRealManager(t)
+	a, err := m.Begin()
+	if err != nil {
+		t.Fatalf("Begin a: %v", err)
+	}
+	b, err := m.Begin()
+	if err != nil {
+		t.Fatalf("Begin b: %v", err)
+	}
+	if a.Family == b.Family {
+		t.Fatal("distinct Begins shared a family")
+	}
+
+	fa := m.lockFamily(a.Family)
+	done := make(chan struct{})
+	go func() {
+		fb := m.lockFamily(b.Family) // must not block on fa
+		m.unlockFamily(fb)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("locking family b blocked while family a was held")
+	}
+	m.unlockFamily(fa)
+	if got := tr.LockWaits(1)[lockClassFamily]; got != 0 {
+		t.Fatalf("independent families counted %d family-lock waits", got)
+	}
+}
+
+// TestLockOrderRegistersAsHierarchy keeps the documented lock order
+// executable: the levels returned by LockOrder form a valid cthreads
+// hierarchy, and taking them out of order panics.
+func TestLockOrderRegistersAsHierarchy(t *testing.T) {
+	r := rt.Real()
+	order := LockOrder()
+	if len(order) < 2 {
+		t.Fatalf("LockOrder = %v; want at least two levels", order)
+	}
+	h := cthreads.NewHierarchy(r, order...)
+	// Descending through the levels in order is legal.
+	for _, name := range order {
+		h.Acquire("walker", name)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		h.Release("walker", order[i])
+	}
+	// Acquiring a higher level while holding a lower one must panic.
+	h.Acquire("violator", order[len(order)-1])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order acquisition did not panic")
+		}
+	}()
+	h.Acquire("violator", order[0])
+}
+
+// TestFamilyTableShardSpread guards the shard hash: consecutive
+// family ids from one origin site must not all land in one shard, or
+// the table degenerates back into a global lock.
+func TestFamilyTableShardSpread(t *testing.T) {
+	tbl := newFamilyTable(rt.Real())
+	used := make(map[*familyShard]bool)
+	for i := uint32(1); i <= 64; i++ {
+		used[tbl.shard(tid.MakeFamily(1, i))] = true
+	}
+	if len(used) < familyShards/2 {
+		t.Fatalf("64 consecutive families hit only %d/%d shards", len(used), familyShards)
+	}
+}

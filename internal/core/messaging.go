@@ -8,32 +8,43 @@ import (
 	"camelot/internal/wire"
 )
 
-// sendLocked transmits one datagram, attaching any delayed
-// commit-acks destined for the same site (the piggybacking half of
-// the delayed-commit optimization). Callers hold m.mu.
-func (m *Manager) sendLocked(to tid.SiteID, msg *wire.Msg) {
+// send transmits one datagram, attaching any delayed commit-acks
+// destined for the same site (the piggybacking half of the
+// delayed-commit optimization). Sequence stamping and the ack batch
+// live under the ack component lock; callers may hold a family lock
+// (family → component is the sanctioned order) but no caller may
+// take a family lock while ackMu is held.
+func (m *Manager) send(to tid.SiteID, msg *wire.Msg) {
 	msg.From = m.cfg.Site
 	msg.To = to
+	var piggybacked int
+	m.lockAttributed(m.ackMu, lockClassAcks)
 	m.seq++
 	msg.Seq = m.seq
 	if acks := m.pendingAcks[to]; len(acks) > 0 && msg.Kind != wire.KCommitAck {
 		msg.AckTIDs = acks
 		delete(m.pendingAcks, to)
-		m.stats.AcksPiggybacked += len(acks)
+		piggybacked = len(acks)
+	}
+	m.ackMu.Unlock()
+	if piggybacked > 0 {
+		m.bumpStats(func(s *Stats) { s.AcksPiggybacked += piggybacked })
 	}
 	m.net.Send(m.cfg.Site, to, msg)
 }
 
-// fanoutLocked sends msg to every site in tos — as one multicast or
-// as the serial unicast loop whose per-send jitter the multicast
-// experiment measures.
-func (m *Manager) fanoutLocked(tos []tid.SiteID, msg *wire.Msg, multicast bool) {
+// fanout sends msg to every site in tos — as one multicast or as the
+// serial unicast loop whose per-send jitter the multicast experiment
+// measures.
+func (m *Manager) fanout(tos []tid.SiteID, msg *wire.Msg, multicast bool) {
 	if len(tos) == 0 {
 		return
 	}
 	msg.From = m.cfg.Site
+	m.lockAttributed(m.ackMu, lockClassAcks)
 	m.seq++
 	msg.Seq = m.seq
+	m.ackMu.Unlock()
 	if multicast {
 		m.net.Multicast(m.cfg.Site, tos, msg)
 		return
@@ -41,11 +52,13 @@ func (m *Manager) fanoutLocked(tos []tid.SiteID, msg *wire.Msg, multicast bool) 
 	m.net.SendAll(m.cfg.Site, tos, msg)
 }
 
-// queueAckLocked schedules a delayed commit-ack to coordinator: it
-// rides the next datagram to that site or the next ack flush,
-// whichever comes first.
-func (m *Manager) queueAckLocked(coordinator tid.SiteID, t tid.TID) {
+// queueAck schedules a delayed commit-ack to coordinator: it rides
+// the next datagram to that site or the next ack flush, whichever
+// comes first.
+func (m *Manager) queueAck(coordinator tid.SiteID, t tid.TID) {
+	m.lockAttributed(m.ackMu, lockClassAcks)
 	m.pendingAcks[coordinator] = append(m.pendingAcks[coordinator], t)
+	m.ackMu.Unlock()
 }
 
 // ackFlusher periodically sends delayed acks that found nothing to
@@ -53,28 +66,39 @@ func (m *Manager) queueAckLocked(coordinator tid.SiteID, t tid.TID) {
 func (m *Manager) ackFlusher() {
 	for {
 		m.r.Sleep(m.cfg.AckFlushInterval)
-		m.mu.Lock()
-		if m.closed {
-			m.mu.Unlock()
+		if m.isClosed() {
 			return
 		}
+		// Drain and stamp under the ack lock; transmit after releasing
+		// it so the network layer is never entered with a component
+		// lock held.
+		var batch []*wire.Msg
+		standalone := 0
+		m.lockAttributed(m.ackMu, lockClassAcks)
 		for _, site := range det.SortedKeys(m.pendingAcks) {
 			acks := m.pendingAcks[site]
 			delete(m.pendingAcks, site)
-			m.stats.AcksStandalone += len(acks)
+			standalone += len(acks)
 			msg := &wire.Msg{Kind: wire.KCommitAck, From: m.cfg.Site, To: site, AckTIDs: acks}
 			m.seq++
 			msg.Seq = m.seq
-			m.net.Send(m.cfg.Site, site, msg)
+			batch = append(batch, msg)
 		}
-		m.mu.Unlock()
+		m.ackMu.Unlock()
+		if standalone > 0 {
+			m.bumpStats(func(s *Stats) { s.AcksStandalone += standalone })
+		}
+		for _, msg := range batch {
+			m.net.Send(m.cfg.Site, msg.To, msg)
+		}
 	}
 }
 
-// scheduleLocked (re)arms the family's single protocol timer; when it
+// schedule (re)arms the family's single protocol timer; when it
 // fires, tick re-examines the family's phase and retries whatever is
 // outstanding — retransmits, inquiries, or non-blocking promotion.
-func (m *Manager) scheduleLocked(f *family, d time.Duration) {
+// The caller holds f's lock.
+func (m *Manager) schedule(f *family, d time.Duration) {
 	if f.timer != nil {
 		f.timer.Stop()
 	}
@@ -86,16 +110,18 @@ func (m *Manager) scheduleLocked(f *family, d time.Duration) {
 
 // tick is the timer-driven retry/timeout path.
 func (m *Manager) tick(id tid.FamilyID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[id]
-	if f == nil || m.closed {
+	f := m.lockFamily(id)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if m.isClosed() {
 		return
 	}
 	switch {
 	case f.promoted:
 		// Promoted coordinator: drive the recovery protocol again.
-		m.promotionSweepLocked(f)
+		m.promotionSweep(f)
 	case f.coord && f.ph == phPreparing:
 		// Re-send prepares to sites that have not voted. A site that
 		// never answers is presumed failed; abort is still safe
@@ -103,9 +129,9 @@ func (m *Manager) tick(id tid.FamilyID) {
 		f.attempts++
 		if f.attempts > m.cfg.VoteRetries {
 			if f.opts.NonBlocking {
-				m.nbDecideAbortLocked(f)
+				m.nbDecideAbort(f)
 			} else {
-				m.abortFamilyLocked(f)
+				m.abortFamily(f)
 			}
 			return
 		}
@@ -115,8 +141,8 @@ func (m *Manager) tick(id tid.FamilyID) {
 				missing = append(missing, s)
 			}
 		}
-		m.fanoutLocked(missing, m.prepareMsgLocked(f), f.opts.Multicast)
-		m.scheduleLocked(f, m.cfg.RetryInterval)
+		m.fanout(missing, m.prepareMsg(f), f.opts.Multicast)
+		m.schedule(f, m.cfg.RetryInterval)
 	case f.coord && f.ph == phReplicating:
 		// Past the replication phase's start a unilateral abort is no
 		// longer safe — a commit quorum may already exist. If the
@@ -124,7 +150,7 @@ func (m *Manager) tick(id tid.FamilyID) {
 		// machinery, which decides by quorum.
 		f.attempts++
 		if f.attempts > m.cfg.VoteRetries {
-			m.promoteLocked(f)
+			m.promote(f)
 			return
 		}
 		var missing []tid.SiteID
@@ -133,35 +159,35 @@ func (m *Manager) tick(id tid.FamilyID) {
 				missing = append(missing, s)
 			}
 		}
-		m.fanoutLocked(missing, m.replicateMsgLocked(f), f.opts.Multicast)
-		m.scheduleLocked(f, m.cfg.RetryInterval)
+		m.fanout(missing, m.replicateMsg(f), f.opts.Multicast)
+		m.schedule(f, m.cfg.RetryInterval)
 	case (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0:
 		// Re-send the outcome to sites that have not acknowledged.
-		m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
-		m.scheduleLocked(f, m.cfg.RetryInterval)
+		m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
+		m.schedule(f, m.cfg.RetryInterval)
 	case f.ph == phPrepared && !f.opts.NonBlocking && !f.coord:
 		// Blocked two-phase subordinate: ask the coordinator.
-		m.stats.Inquiries++
-		m.sendLocked(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
-		m.scheduleLocked(f, m.cfg.InquireInterval)
+		m.bumpStats(func(s *Stats) { s.Inquiries++ })
+		m.send(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+		m.schedule(f, m.cfg.InquireInterval)
 	case f.ph == phActive && !f.coord:
 		// Orphan check: a remote family still active here long after
 		// joining. If the coordinator is alive and still running the
 		// transaction it ignores the inquiry; if it aborted or never
 		// heard of us, presumed abort answers and releases our locks
 		// and updates.
-		m.stats.Inquiries++
-		m.sendLocked(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
-		m.scheduleLocked(f, 4*m.cfg.InquireInterval)
+		m.bumpStats(func(s *Stats) { s.Inquiries++ })
+		m.send(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+		m.schedule(f, 4*m.cfg.InquireInterval)
 	case (f.ph == phPrepared || f.ph == phReplicated) && f.opts.NonBlocking && !f.coord:
 		// Non-blocking subordinate stalled: become a coordinator
 		// (§3.3 change 2).
-		m.promoteLocked(f)
+		m.promote(f)
 	}
 }
 
-// prepareMsgLocked builds the phase-one message for f.
-func (m *Manager) prepareMsgLocked(f *family) *wire.Msg {
+// prepareMsg builds the phase-one message for f (f's lock held).
+func (m *Manager) prepareMsg(f *family) *wire.Msg {
 	msg := &wire.Msg{TID: tid.Top(f.id), Flags: f.flags()}
 	if f.opts.NonBlocking {
 		msg.Kind = wire.KNBPrepare
@@ -174,8 +200,8 @@ func (m *Manager) prepareMsgLocked(f *family) *wire.Msg {
 	return msg
 }
 
-// replicateMsgLocked builds the replication-phase message.
-func (m *Manager) replicateMsgLocked(f *family) *wire.Msg {
+// replicateMsg builds the replication-phase message (f's lock held).
+func (m *Manager) replicateMsg(f *family) *wire.Msg {
 	return &wire.Msg{
 		Kind:         wire.KNBReplicate,
 		TID:          tid.Top(f.id),
@@ -187,8 +213,9 @@ func (m *Manager) replicateMsgLocked(f *family) *wire.Msg {
 	}
 }
 
-// outcomeMsgLocked builds the outcome notification for f's decision.
-func (m *Manager) outcomeMsgLocked(f *family) *wire.Msg {
+// outcomeMsg builds the outcome notification for f's decision (f's
+// lock held).
+func (m *Manager) outcomeMsg(f *family) *wire.Msg {
 	msg := &wire.Msg{TID: tid.Top(f.id), Flags: f.flags()}
 	if f.opts.NonBlocking {
 		msg.Kind = wire.KNBOutcome
@@ -221,16 +248,13 @@ func (f *family) flags() uint8 {
 
 // handle dispatches one inbound datagram on a pool thread.
 func (m *Manager) handle(msg *wire.Msg) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.isClosed() {
 		return
 	}
 	// Piggybacked commit-acks ride on any message (§3.2).
 	for _, t := range msg.AckTIDs {
-		m.onCommitAckLocked(msg.From, t)
+		m.onCommitAck(msg.From, t)
 	}
-	m.mu.Unlock()
 
 	switch msg.Kind {
 	case wire.KPrepare:
@@ -243,9 +267,7 @@ func (m *Manager) handle(msg *wire.Msg) {
 		// Pure ack batch: AckTIDs already processed; a bare TID in
 		// the header is also an ack.
 		if !msg.TID.IsZero() {
-			m.mu.Lock()
-			m.onCommitAckLocked(msg.From, msg.TID)
-			m.mu.Unlock()
+			m.onCommitAck(msg.From, msg.TID)
 		}
 	case wire.KInquire:
 		m.onInquire(msg)

@@ -30,16 +30,14 @@ func (m *Manager) commitChild(child tid.TID) (wire.Outcome, error) {
 	}
 	done := newResultFuture[result](m)
 	m.queue.Put(func() {
-		m.mu.Lock()
-		f := m.families[child.Family]
+		f := m.lockFamily(child.Family)
 		if f == nil {
-			m.mu.Unlock()
 			done.Set(result{err: fmt.Errorf("%w: %s", ErrUnknownTransaction, child)})
 			return
 		}
 		tx := f.txns[child]
 		if tx == nil || tx.aborted {
-			m.mu.Unlock()
+			m.unlockFamily(f)
 			done.Set(result{err: fmt.Errorf("%w: %s", ErrUnknownTransaction, child)})
 			return
 		}
@@ -54,12 +52,12 @@ func (m *Manager) commitChild(child tid.TID) (wire.Outcome, error) {
 		// Sorted so the notification fan-out below is replay-stable.
 		sites := det.SortedKeys(tx.sites)
 		delete(f.txns, child)
-		parts := m.participantsLocked(f)
+		parts := m.participants(f)
 		// Notify remote sites the child touched.
 		for _, s := range sites {
-			m.sendLocked(s, &wire.Msg{Kind: wire.KChildCommit, TID: child, Parent: parent})
+			m.send(s, &wire.Msg{Kind: wire.KChildCommit, TID: child, Parent: parent})
 		}
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		for _, p := range parts {
 			p.CommitChild(child, parent)
 		}
@@ -80,23 +78,21 @@ func (m *Manager) commitChild(child tid.TID) (wire.Outcome, error) {
 func (m *Manager) abortChild(child tid.TID) error {
 	done := newResultFuture[error](m)
 	m.queue.Put(func() {
-		m.mu.Lock()
-		f := m.families[child.Family]
+		f := m.lockFamily(child.Family)
 		if f == nil {
-			m.mu.Unlock()
 			done.Set(fmt.Errorf("%w: %s", ErrUnknownTransaction, child))
 			return
 		}
 		tx := f.txns[child]
 		if tx == nil {
-			m.mu.Unlock()
+			m.unlockFamily(f)
 			done.Set(fmt.Errorf("%w: %s", ErrUnknownTransaction, child))
 			return
 		}
 		tx.aborted = true
 		// Collect the sites of the whole doomed subtree known here.
 		sites := make(map[tid.SiteID]bool)
-		doomed := m.subtreeLocked(f, child)
+		doomed := m.subtree(f, child)
 		for _, d := range doomed {
 			//lint:ordered set union; insertion order is unobservable
 			for s := range d.sites {
@@ -104,11 +100,11 @@ func (m *Manager) abortChild(child tid.TID) error {
 			}
 			delete(f.txns, d.id)
 		}
-		parts := m.participantsLocked(f)
+		parts := m.participants(f)
 		for _, s := range det.SortedKeys(sites) {
-			m.sendLocked(s, &wire.Msg{Kind: wire.KChildAbort, TID: child})
+			m.send(s, &wire.Msg{Kind: wire.KChildAbort, TID: child})
 		}
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		for _, p := range parts {
 			p.AbortChild(child)
 		}
@@ -121,9 +117,9 @@ func (m *Manager) abortChild(child tid.TID) error {
 	return err
 }
 
-// subtreeLocked returns child and every descendant tracked at this
-// site, child first.
-func (m *Manager) subtreeLocked(f *family, child tid.TID) []*txn {
+// subtree returns child and every descendant tracked at this site,
+// child first (f's lock held).
+func (m *Manager) subtree(f *family, child tid.TID) []*txn {
 	var out []*txn
 	if tx := f.txns[child]; tx != nil {
 		out = append(out, tx)
@@ -146,10 +142,8 @@ func (m *Manager) subtreeLocked(f *family, child tid.TID) []*txn {
 
 // onChildCommit applies a remote child's merge at this site.
 func (m *Manager) onChildCommit(msg *wire.Msg) {
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
-		m.mu.Unlock()
 		return
 	}
 	if tx := f.txns[msg.TID]; tx != nil {
@@ -163,8 +157,8 @@ func (m *Manager) onChildCommit(msg *wire.Msg) {
 		}
 		delete(f.txns, msg.TID)
 	}
-	parts := m.participantsLocked(f)
-	m.mu.Unlock()
+	parts := m.participants(f)
+	m.unlockFamily(f)
 	for _, p := range parts {
 		p.CommitChild(msg.TID, msg.Parent)
 	}
@@ -172,17 +166,15 @@ func (m *Manager) onChildCommit(msg *wire.Msg) {
 
 // onChildAbort undoes a remote child's subtree at this site.
 func (m *Manager) onChildAbort(msg *wire.Msg) {
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
-		m.mu.Unlock()
 		return
 	}
-	for _, d := range m.subtreeLocked(f, msg.TID) {
+	for _, d := range m.subtree(f, msg.TID) {
 		delete(f.txns, d.id)
 	}
-	parts := m.participantsLocked(f)
-	m.mu.Unlock()
+	parts := m.participants(f)
+	m.unlockFamily(f)
 	for _, p := range parts {
 		p.AbortChild(msg.TID)
 	}

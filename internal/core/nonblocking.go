@@ -13,10 +13,11 @@ import (
 // five messages on the critical path of a one-subordinate update.
 // The five changes to two-phase commit are marked where implemented.
 
-// nbBeginCommitLocked starts non-blocking commitment at the
-// coordinator. Change 5: the coordinator prepares — forces its own
-// prepare record — before sending the prepare message.
-func (m *Manager) nbBeginCommitLocked(f *family) {
+// nbBeginCommit starts non-blocking commitment at the coordinator.
+// Change 5: the coordinator prepares — forces its own prepare record
+// — before sending the prepare message. Called and returns with f's
+// lock held; the lock is released around the force.
+func (m *Manager) nbBeginCommit(f *family) {
 	sites := append([]tid.SiteID{m.cfg.Site}, sortedSites(f.remoteSites)...)
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
 	f.nbSites = sites
@@ -41,18 +42,17 @@ func (m *Manager) nbBeginCommitLocked(f *family) {
 			CommitQuorum: uint16(f.commitQuorum),
 			AbortQuorum:  uint16(f.abortQuorum),
 		}
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		lsn, err := m.log.Append(rec)
 		if err == nil {
 			err = m.log.Force(lsn) // coordinator force #1
 			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
-		m.mu.Lock()
-		if m.families[f.id] != f {
+		if !m.relockFamily(f) {
 			return
 		}
 		if err != nil {
-			m.abortFamilyLocked(f)
+			m.abortFamily(f)
 			return
 		}
 	}
@@ -60,21 +60,23 @@ func (m *Manager) nbBeginCommitLocked(f *family) {
 	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "prepare")
 	// Change 1: the prepare message carries the site list and the
 	// quorum sizes for the replication phase.
-	m.fanoutLocked(sortedSites(f.remoteSites), m.prepareMsgLocked(f), f.opts.Multicast)
-	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.fanout(sortedSites(f.remoteSites), m.prepareMsg(f), f.opts.Multicast)
+	m.schedule(f, m.cfg.RetryInterval)
 }
 
 // onNBVote collects phase-one votes at the coordinator.
 func (m *Manager) onNBVote(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
-	if f == nil || !f.coord || f.ph != phPreparing || !f.opts.NonBlocking {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.coord || f.ph != phPreparing || !f.opts.NonBlocking {
 		return
 	}
 	f.votes[msg.From] = msg.Vote
 	if msg.Vote == wire.VoteNo {
-		m.nbDecideAbortLocked(f)
+		m.nbDecideAbort(f)
 		return
 	}
 	//lint:ordered pure membership test; no effect depends on visit order
@@ -83,15 +85,16 @@ func (m *Manager) onNBVote(msg *wire.Msg) {
 			return
 		}
 	}
-	m.nbBeginReplicationLocked(f)
+	m.nbBeginReplication(f)
 }
 
-// nbBeginReplicationLocked runs the replication phase (change 3): the
+// nbBeginReplication runs the replication phase (change 3): the
 // coordinator forces the collected decision information locally and
 // replicates it at enough subordinates to form a commit quorum.
 // Read-only sites "often need not participate": they are enlisted
-// only if the update sites alone cannot reach the quorum.
-func (m *Manager) nbBeginReplicationLocked(f *family) {
+// only if the update sites alone cannot reach the quorum. Called and
+// returns with f's lock held.
+func (m *Manager) nbBeginReplication(f *family) {
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
 	allReadOnly := f.localVote == wire.VoteReadOnly
 	f.nbVotes = f.nbVotes[:0]
@@ -107,10 +110,10 @@ func (m *Manager) nbBeginReplicationLocked(f *family) {
 		// Completely read-only: same critical path as two-phase
 		// commit — no replication or notify phase, no log writes.
 		f.ph = phCommitted
-		m.stats.Committed++
+		m.bumpStats(func(s *Stats) { s.Committed++ })
 		f.result.Set(wire.OutcomeCommit)
-		m.releaseLocalLocked(f, true)
-		m.forgetLocked(f)
+		m.releaseLocal(f, true)
+		m.forget(f)
 		return
 	}
 
@@ -138,18 +141,17 @@ func (m *Manager) nbBeginReplicationLocked(f *family) {
 		AbortQuorum:  uint16(f.abortQuorum),
 		Votes:        f.nbVotes,
 	}
-	m.mu.Unlock()
+	m.unlockFamily(f)
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn) // coordinator force #2
 		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
-	m.mu.Lock()
-	if m.families[f.id] != f {
+	if !m.relockFamily(f) {
 		return
 	}
 	if err != nil {
-		m.nbDecideAbortLocked(f)
+		m.nbDecideAbort(f)
 		return
 	}
 	f.nbState = wire.NBReplicated
@@ -157,33 +159,35 @@ func (m *Manager) nbBeginReplicationLocked(f *family) {
 	f.ph = phReplicating
 	f.attempts = 0
 	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "replicate")
-	m.fanoutLocked(sortedSites(f.replTargets), m.replicateMsgLocked(f), f.opts.Multicast)
-	m.scheduleLocked(f, m.cfg.RetryInterval)
-	m.nbCheckCommitQuorumLocked(f)
+	m.fanout(sortedSites(f.replTargets), m.replicateMsg(f), f.opts.Multicast)
+	m.schedule(f, m.cfg.RetryInterval)
+	m.nbCheckCommitQuorum(f)
 }
 
 // onNBReplicateAck counts replication-phase acknowledgements.
 func (m *Manager) onNBReplicateAck(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
-	if f == nil || f.ph != phReplicating {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if f.ph != phReplicating {
 		return
 	}
 	f.replAcks[msg.From] = true
-	m.nbCheckCommitQuorumLocked(f)
+	m.nbCheckCommitQuorum(f)
 }
 
-// nbCheckCommitQuorumLocked commits once the replicated information
+// nbCheckCommitQuorum commits once the replicated information
 // excludes abort: "the atomic action that marks the commitment point
 // of the protocol is the writing of a log record that forms a commit
-// quorum."
-func (m *Manager) nbCheckCommitQuorumLocked(f *family) {
+// quorum." Called with f's lock held.
+func (m *Manager) nbCheckCommitQuorum(f *family) {
 	if f.ph != phReplicating || len(f.replAcks) < f.commitQuorum {
 		return
 	}
 	f.ph = phCommitted
-	m.stats.Committed++
+	m.bumpStats(func(s *Stats) { s.Committed++ })
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "replicate")
 	// The outcome is now decided; the local commit record may be lazy
 	// because any recovery can reconstruct the decision from the
@@ -205,21 +209,21 @@ func (m *Manager) nbCheckCommitQuorumLocked(f *family) {
 	if len(f.acksPending) > 0 {
 		m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "notify")
 	}
-	m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
-	m.releaseLocalLocked(f, true)
+	m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
+	m.releaseLocal(f, true)
 	if len(f.acksPending) == 0 {
-		m.endLocked(f)
+		m.end(f)
 		return
 	}
-	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.schedule(f, m.cfg.RetryInterval)
 }
 
-// nbDecideAbortLocked aborts before any commit quorum can exist (a No
-// vote or a failed force): no site can hold a replicated commit
-// intent, so notifying abort is safe.
-func (m *Manager) nbDecideAbortLocked(f *family) {
+// nbDecideAbort aborts before any commit quorum can exist (a No vote
+// or a failed force): no site can hold a replicated commit intent, so
+// notifying abort is safe. Called with f's lock held.
+func (m *Manager) nbDecideAbort(f *family) {
 	f.ph = phAborted
-	m.stats.Aborted++
+	m.bumpStats(func(s *Stats) { s.Aborted++ })
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "replicate")
 	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy
@@ -233,35 +237,33 @@ func (m *Manager) nbDecideAbortLocked(f *family) {
 		}
 		f.acksPending[s] = true
 	}
-	m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
-	m.releaseLocalLocked(f, false)
+	m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
+	m.releaseLocal(f, false)
 	// Change 4: even for abort, no transaction manager forgets until
 	// every site has the outcome.
 	if len(f.acksPending) == 0 {
-		m.endLocked(f)
+		m.end(f)
 		return
 	}
-	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.schedule(f, m.cfg.RetryInterval)
 }
 
 // --- subordinate side ---
 
 // onNBPrepare handles phase one at a non-blocking subordinate.
 func (m *Manager) onNBPrepare(msg *wire.Msg) {
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
 		return
 	}
 	if f.ph == phPrepared || f.ph == phReplicated {
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteYes})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteYes})
+		m.unlockFamily(f)
 		return
 	}
 	if f.ph != phActive {
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		return
 	}
 	f.opts = optionsFromFlags(msg.Flags)
@@ -269,25 +271,25 @@ func (m *Manager) onNBPrepare(msg *wire.Msg) {
 	f.nbSites = msg.Sites
 	f.commitQuorum = int(msg.CommitQuorum)
 	f.abortQuorum = int(msg.AbortQuorum)
-	parts := m.participantsLocked(f)
-	m.mu.Unlock()
+	parts := m.participants(f)
+	m.unlockFamily(f)
 
 	vote := m.voteRound(parts, f.opts)
 	switch vote {
 	case wire.VoteNo:
-		m.mu.Lock()
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
-		m.localAbortLocked(f)
-		m.mu.Unlock()
+		m.relockFamily(f) // stale descriptors still answer (as before the refactor)
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.localAbort(f)
+		m.unlockFamily(f)
 	case wire.VoteReadOnly:
 		// "A read-only subordinate typically writes no log records
 		// and exchanges only one round of messages."
-		m.mu.Lock()
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteReadOnly})
+		m.relockFamily(f)
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteReadOnly})
 		f.ph = phCommitted
-		m.releaseLocalLocked(f, true)
-		m.forgetLocked(f)
-		m.mu.Unlock()
+		m.releaseLocal(f, true)
+		m.forget(f)
+		m.unlockFamily(f)
 	default:
 		rec := &wal.Record{
 			Type:         wal.RecPrepare,
@@ -302,50 +304,47 @@ func (m *Manager) onNBPrepare(msg *wire.Msg) {
 			err = m.log.Force(lsn) // subordinate force #1
 			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
-		m.mu.Lock()
-		if m.families[f.id] != f {
-			m.mu.Unlock()
+		if !m.relockFamily(f) {
+			m.unlockFamily(f)
 			return
 		}
 		if err != nil {
-			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
-			m.localAbortLocked(f)
-			m.mu.Unlock()
+			m.send(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteNo})
+			m.localAbort(f)
+			m.unlockFamily(f)
 			return
 		}
 		f.ph = phPrepared
 		f.prepared = true
 		f.nbState = wire.NBPrepared
 		m.tr.PhaseBegin(m.cfg.Site, msg.TID, "prepared")
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteYes})
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBVote, TID: msg.TID, Vote: wire.VoteYes})
 		// Change 2: do not wait forever — time out and take over.
-		m.scheduleLocked(f, m.cfg.PromotionTimeout)
-		m.mu.Unlock()
+		m.schedule(f, m.cfg.PromotionTimeout)
+		m.unlockFamily(f)
 	}
 }
 
 // onNBReplicate handles the replication phase at a subordinate: force
 // the decision information, just as a prepare record is forced.
 func (m *Manager) onNBReplicate(msg *wire.Msg) {
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
-	if f == nil {
+	f, created := m.lockOrCreateFamily(msg.TID.Family)
+	if created {
 		// A read-only site enlisted as quorum filler (it voted
 		// read-only and forgot, or never joined): record the intent
 		// anyway — it holds no locks but its log strengthens the
 		// quorum.
-		f = m.newFamilyLocked(msg.TID.Family)
 		f.opts.NonBlocking = true
 	}
 	if f.nbState == wire.NBAbortIntent {
 		// Change 4: a site may not join both quorums.
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID, State: f.nbState})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID, State: f.nbState})
+		m.unlockFamily(f)
 		return
 	}
 	if f.nbState == wire.NBReplicated || f.ph == phReplicated {
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBReplicateAck, TID: msg.TID})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBReplicateAck, TID: msg.TID})
+		m.unlockFamily(f)
 		return
 	}
 	f.nbSites = msg.Sites
@@ -361,21 +360,21 @@ func (m *Manager) onNBReplicate(msg *wire.Msg) {
 		AbortQuorum:  msg.AbortQuorum,
 		Votes:        msg.Votes,
 	}
-	m.mu.Unlock()
+	m.unlockFamily(f)
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn) // subordinate force #2
 		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.families[f.id] != f || err != nil {
+	live := m.relockFamily(f)
+	defer m.unlockFamily(f)
+	if !live || err != nil {
 		return
 	}
 	f.ph = phReplicated
 	f.nbState = wire.NBReplicated
-	m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBReplicateAck, TID: msg.TID})
-	m.scheduleLocked(f, m.cfg.PromotionTimeout)
+	m.send(msg.From, &wire.Msg{Kind: wire.KNBReplicateAck, TID: msg.TID})
+	m.schedule(f, m.cfg.PromotionTimeout)
 }
 
 // onNBOutcome applies the notify-phase decision at a subordinate (or
@@ -384,26 +383,24 @@ func (m *Manager) onNBReplicate(msg *wire.Msg) {
 // is not a problem").
 func (m *Manager) onNBOutcome(msg *wire.Msg) {
 	commit := msg.Outcome == wire.OutcomeCommit
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
 		// Already resolved; re-acknowledge so the sender can forget.
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
 		return
 	}
 	if f.ph == phCommitted || f.ph == phAborted {
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
+		m.unlockFamily(f)
 		return
 	}
-	parts := m.participantsLocked(f)
+	parts := m.participants(f)
 	m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
 	if commit {
 		f.ph = phCommitted
 	} else {
 		f.ph = phAborted
-		m.stats.Aborted++
+		m.bumpStats(func(s *Stats) { s.Aborted++ })
 	}
 	if f.result != nil {
 		// We were a coordinator (original or promoted) with a waiting
@@ -419,23 +416,25 @@ func (m *Manager) onNBOutcome(msg *wire.Msg) {
 		recType = wal.RecAbort
 	}
 	m.log.Append(&wal.Record{Type: recType, TID: msg.TID}) //nolint:errcheck // lazy
-	m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
-	m.forgetLocked(f)
-	m.mu.Unlock()
+	m.send(msg.From, &wire.Msg{Kind: wire.KNBOutcomeAck, TID: msg.TID})
+	m.forget(f)
+	m.unlockFamily(f)
 	m.applyLocal(parts, msg.TID.Family, commit)
 }
 
 // onNBOutcomeAck drains the notify phase at whichever coordinator is
 // driving it.
 func (m *Manager) onNBOutcomeAck(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
-	if f == nil || (f.ph != phCommitted && f.ph != phAborted) {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if f.ph != phCommitted && f.ph != phAborted {
 		return
 	}
 	delete(f.acksPending, msg.From)
 	if len(f.acksPending) == 0 {
-		m.endLocked(f)
+		m.end(f)
 	}
 }

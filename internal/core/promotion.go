@@ -16,28 +16,29 @@ import (
 // (change 4), so the intersecting quorums exclude split decisions
 // even with several simultaneous coordinators.
 
-// promoteLocked turns this stalled subordinate into a coordinator.
-func (m *Manager) promoteLocked(f *family) {
+// promote turns this stalled subordinate into a coordinator. Called
+// with f's lock held.
+func (m *Manager) promote(f *family) {
 	if !f.promoted {
 		f.promoted = true
-		m.stats.Promotions++
+		m.bumpStats(func(s *Stats) { s.Promotions++ })
 		f.statusResp = map[tid.SiteID]wire.NBState{m.cfg.Site: f.nbState}
 		f.abortIntents = make(map[tid.SiteID]bool)
 		if f.nbState == wire.NBAbortIntent {
 			f.abortIntents[m.cfg.Site] = true
 		}
 	}
-	m.promotionSweepLocked(f)
+	m.promotionSweep(f)
 }
 
-// promotionSweepLocked (re)broadcasts the status inquiry and re-arms
-// the retry timer.
-func (m *Manager) promotionSweepLocked(f *family) {
+// promotionSweep (re)broadcasts the status inquiry and re-arms the
+// retry timer (f's lock held).
+func (m *Manager) promotionSweep(f *family) {
 	if f.ph == phCommitted || f.ph == phAborted {
 		// Outcome already driven; keep pushing it to laggards.
 		if len(f.acksPending) > 0 {
-			m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
-			m.scheduleLocked(f, m.cfg.RetryInterval)
+			m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
+			m.schedule(f, m.cfg.RetryInterval)
 		}
 		return
 	}
@@ -47,22 +48,20 @@ func (m *Manager) promotionSweepLocked(f *family) {
 			others = append(others, s)
 		}
 	}
-	m.fanoutLocked(others, &wire.Msg{Kind: wire.KNBStatusReq, TID: tid.Top(f.id)}, f.opts.Multicast)
-	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.fanout(others, &wire.Msg{Kind: wire.KNBStatusReq, TID: tid.Top(f.id)}, f.opts.Multicast)
+	m.schedule(f, m.cfg.RetryInterval)
 }
 
 // onNBStatusReq reports this site's position in the protocol to a
 // promoted coordinator. Any site may be asked, including the
 // original coordinator.
 func (m *Manager) onNBStatusReq(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
 	resp := &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID}
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
 		// Forgotten families still have a remembered outcome; only a
 		// transaction this site truly never resolved is UNKNOWN.
-		switch m.resolved[msg.TID.Family] {
+		switch m.resolvedOutcome(msg.TID.Family) {
 		case wire.OutcomeCommit:
 			resp.State = wire.NBCommitted
 		case wire.OutcomeAbort:
@@ -70,31 +69,35 @@ func (m *Manager) onNBStatusReq(msg *wire.Msg) {
 		default:
 			resp.State = wire.NBUnknown
 		}
-	} else {
-		switch f.ph {
-		case phCommitted:
-			resp.State = wire.NBCommitted
-		case phAborted:
-			resp.State = wire.NBAborted
-		default:
-			resp.State = f.nbState
-			if resp.State == wire.NBUnknown && f.prepared {
-				resp.State = wire.NBPrepared
-			}
-		}
-		resp.Votes = f.nbVotes
-		resp.Sites = f.nbSites
+		m.send(msg.From, resp)
+		return
 	}
-	m.sendLocked(msg.From, resp)
+	defer m.unlockFamily(f)
+	switch f.ph {
+	case phCommitted:
+		resp.State = wire.NBCommitted
+	case phAborted:
+		resp.State = wire.NBAborted
+	default:
+		resp.State = f.nbState
+		if resp.State == wire.NBUnknown && f.prepared {
+			resp.State = wire.NBPrepared
+		}
+	}
+	resp.Votes = f.nbVotes
+	resp.Sites = f.nbSites
+	m.send(msg.From, resp)
 }
 
 // onNBStatusResp collects states at a promoted coordinator and
 // re-evaluates the decision rules.
 func (m *Manager) onNBStatusResp(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
-	if f == nil || !f.promoted || f.ph == phCommitted || f.ph == phAborted {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.promoted || f.ph == phCommitted || f.ph == phAborted {
 		return
 	}
 	f.statusResp[msg.From] = msg.State
@@ -107,11 +110,12 @@ func (m *Manager) onNBStatusResp(msg *wire.Msg) {
 	if msg.State == wire.NBAbortIntent {
 		f.abortIntents[msg.From] = true
 	}
-	m.evaluatePromotionLocked(f)
+	m.evaluatePromotion(f)
 }
 
-// evaluatePromotionLocked applies the quorum-consensus decision rules.
-func (m *Manager) evaluatePromotionLocked(f *family) {
+// evaluatePromotion applies the quorum-consensus decision rules (f's
+// lock held).
+func (m *Manager) evaluatePromotion(f *family) {
 	replicated, anyCommitted, anyAborted := 0, false, false
 	//lint:ordered commutative aggregation; counts and flags only
 	for _, st := range f.statusResp {
@@ -126,36 +130,36 @@ func (m *Manager) evaluatePromotionLocked(f *family) {
 	}
 	switch {
 	case anyCommitted:
-		m.driveOutcomeLocked(f, wire.OutcomeCommit)
+		m.driveOutcome(f, wire.OutcomeCommit)
 	case anyAborted:
-		m.driveOutcomeLocked(f, wire.OutcomeAbort)
+		m.driveOutcome(f, wire.OutcomeAbort)
 	case replicated >= f.commitQuorum:
 		// The commit intent is replicated widely enough to exclude
 		// abort: the decision is commit.
-		m.driveOutcomeLocked(f, wire.OutcomeCommit)
+		m.driveOutcome(f, wire.OutcomeCommit)
 	case len(f.abortIntents) >= f.abortQuorum:
-		m.driveOutcomeLocked(f, wire.OutcomeAbort)
+		m.driveOutcome(f, wire.OutcomeAbort)
 	default:
-		m.solicitAbortIntentsLocked(f)
+		m.solicitAbortIntents(f)
 	}
 }
 
-// solicitAbortIntentsLocked tries to assemble an abort quorum from
-// sites that have not written a commit intent. With two or more
-// failures no quorum may form and every surviving site stays blocked
-// — "it is impossible to do better."
-func (m *Manager) solicitAbortIntentsLocked(f *family) {
+// solicitAbortIntents tries to assemble an abort quorum from sites
+// that have not written a commit intent. With two or more failures no
+// quorum may form and every surviving site stays blocked — "it is
+// impossible to do better." Called and returns with f's lock held
+// (the lock is released around the local force).
+func (m *Manager) solicitAbortIntents(f *family) {
 	// Write our own abort-intent record first (once).
 	if f.nbState == wire.NBPrepared && !f.abortIntents[m.cfg.Site] {
 		rec := &wal.Record{Type: wal.RecNBAbortIntent, TID: tid.Top(f.id), Sites: f.nbSites}
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		lsn, err := m.log.Append(rec)
 		if err == nil {
 			err = m.log.Force(lsn)
 			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
-		m.mu.Lock()
-		if m.families[f.id] != f {
+		if !m.relockFamily(f) {
 			return
 		}
 		if err == nil {
@@ -164,7 +168,7 @@ func (m *Manager) solicitAbortIntentsLocked(f *family) {
 			f.statusResp[m.cfg.Site] = wire.NBAbortIntent
 		}
 		if len(f.abortIntents) >= f.abortQuorum {
-			m.driveOutcomeLocked(f, wire.OutcomeAbort)
+			m.driveOutcome(f, wire.OutcomeAbort)
 			return
 		}
 	}
@@ -180,89 +184,91 @@ func (m *Manager) solicitAbortIntentsLocked(f *family) {
 			targets = append(targets, s)
 		}
 	}
-	m.fanoutLocked(targets, &wire.Msg{Kind: wire.KNBAbortIntent, TID: tid.Top(f.id)}, f.opts.Multicast)
+	m.fanout(targets, &wire.Msg{Kind: wire.KNBAbortIntent, TID: tid.Top(f.id)}, f.opts.Multicast)
 }
 
 // onNBAbortIntent asks this site to pledge abort. Refused if we hold
 // a replicated commit intent (change 4).
 func (m *Manager) onNBAbortIntent(msg *wire.Msg) {
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
 		// A forgotten-but-resolved transaction must answer from its
 		// remembered outcome: a committed site may never pledge abort
 		// (change 4), and an aborted one can just re-acknowledge.
-		switch m.resolved[msg.TID.Family] {
+		switch m.resolvedOutcome(msg.TID.Family) {
 		case wire.OutcomeCommit:
-			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID,
+			m.send(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID,
 				State: wire.NBCommitted})
-			m.mu.Unlock()
 			return
 		case wire.OutcomeAbort:
-			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
-			m.mu.Unlock()
+			m.send(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
 			return
 		}
 		// Truly unknown: we hold no commit intent, so pledging abort
 		// is safe (and consistent with presumed abort).
-		f = m.newFamilyLocked(msg.TID.Family)
-		f.opts.NonBlocking = true
+		var created bool
+		f, created = m.lockOrCreateFamily(msg.TID.Family)
+		if created {
+			f.opts.NonBlocking = true
+		}
 	}
 	switch {
 	case f.ph == phAborted || f.nbState == wire.NBAbortIntent:
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
+		m.unlockFamily(f)
 		return
 	case f.nbState == wire.NBReplicated || f.ph == phCommitted || f.ph == phReplicated:
 		// Already in (or past) the commit quorum: refuse by reporting
 		// state instead of acknowledging.
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID,
+		m.send(msg.From, &wire.Msg{Kind: wire.KNBStatusResp, TID: msg.TID,
 			State: wire.NBReplicated, Votes: f.nbVotes, Sites: f.nbSites})
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		return
 	}
 	rec := &wal.Record{Type: wal.RecNBAbortIntent, TID: msg.TID, Sites: f.nbSites}
-	m.mu.Unlock()
+	m.unlockFamily(f)
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn)
 		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.families[f.id] != f || err != nil {
+	live := m.relockFamily(f)
+	defer m.unlockFamily(f)
+	if !live || err != nil {
 		return
 	}
 	f.nbState = wire.NBAbortIntent
-	m.sendLocked(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
+	m.send(msg.From, &wire.Msg{Kind: wire.KNBAbortIntentAck, TID: msg.TID})
 }
 
 // onNBAbortIntentAck counts pledges at the soliciting coordinator.
 func (m *Manager) onNBAbortIntentAck(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
-	if f == nil || !f.promoted || f.ph == phCommitted || f.ph == phAborted {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.promoted || f.ph == phCommitted || f.ph == phAborted {
 		return
 	}
 	f.abortIntents[msg.From] = true
 	f.statusResp[msg.From] = wire.NBAbortIntent
 	if len(f.abortIntents) >= f.abortQuorum {
-		m.driveOutcomeLocked(f, wire.OutcomeAbort)
+		m.driveOutcome(f, wire.OutcomeAbort)
 	}
 }
 
-// driveOutcomeLocked finishes the transaction as (possibly one of
-// several) coordinator: apply locally, notify every other site, and
-// keep retrying until all acknowledge.
-func (m *Manager) driveOutcomeLocked(f *family, outcome wire.Outcome) {
+// driveOutcome finishes the transaction as (possibly one of several)
+// coordinator: apply locally, notify every other site, and keep
+// retrying until all acknowledge (f's lock held).
+func (m *Manager) driveOutcome(f *family, outcome wire.Outcome) {
 	commit := outcome == wire.OutcomeCommit
 	if commit {
 		f.ph = phCommitted
-		m.stats.Committed++
+		m.bumpStats(func(s *Stats) { s.Committed++ })
 	} else {
 		f.ph = phAborted
-		m.stats.Aborted++
+		m.bumpStats(func(s *Stats) { s.Aborted++ })
 	}
 	recType := wal.RecCommit
 	if !commit {
@@ -276,17 +282,17 @@ func (m *Manager) driveOutcomeLocked(f *family, outcome wire.Outcome) {
 			f.result.Set(wire.OutcomeAbort)
 		}
 	}
-	m.releaseLocalLocked(f, commit)
+	m.releaseLocal(f, commit)
 	f.acksPending = make(map[tid.SiteID]bool)
 	for _, s := range f.nbSites {
 		if s != m.cfg.Site {
 			f.acksPending[s] = true
 		}
 	}
-	m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), f.opts.Multicast)
+	m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
 	if len(f.acksPending) == 0 {
-		m.endLocked(f)
+		m.end(f)
 		return
 	}
-	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.schedule(f, m.cfg.RetryInterval)
 }

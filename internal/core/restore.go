@@ -18,12 +18,8 @@ func (m *Manager) RestorePreparedSub(t tid.TID, coordinator tid.SiteID, nb bool,
 	votes []wire.SiteVote, parts []server.Participant) {
 
 	m.queue.Put(func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		f := m.families[t.Family]
-		if f == nil {
-			f = m.newFamilyLocked(t.Family)
-		}
+		f, _ := m.lockOrCreateFamily(t.Family)
+		defer m.unlockFamily(f)
 		f.prepared = true
 		f.opts.NonBlocking = nb
 		for _, p := range parts {
@@ -42,15 +38,15 @@ func (m *Manager) RestorePreparedSub(t tid.TID, coordinator tid.SiteID, nb bool,
 				f.nbState = wire.NBPrepared
 			}
 			// Resume by promotion: the coordinator may be long gone.
-			m.promoteLocked(f)
+			m.promote(f)
 			return
 		}
 		f.ph = phPrepared
 		// Two-phase commit blocks here until the coordinator answers:
 		// ask immediately and keep asking.
-		m.stats.Inquiries++
-		m.sendLocked(coordinator, &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
-		m.scheduleLocked(f, m.cfg.InquireInterval)
+		m.bumpStats(func(s *Stats) { s.Inquiries++ })
+		m.send(coordinator, &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+		m.schedule(f, m.cfg.InquireInterval)
 	})
 }
 
@@ -61,12 +57,8 @@ func (m *Manager) RestorePreparedSub(t tid.TID, coordinator tid.SiteID, nb bool,
 // before the subordinate writes its own commit record."
 func (m *Manager) RestoreCommittedCoordinator(t tid.TID, updateSubs []tid.SiteID, nb bool) {
 	m.queue.Put(func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		f := m.families[t.Family]
-		if f == nil {
-			f = m.newFamilyLocked(t.Family)
-		}
+		f, _ := m.lockOrCreateFamily(t.Family)
+		defer m.unlockFamily(f)
 		f.coord = true
 		f.ph = phCommitted
 		f.opts.NonBlocking = nb
@@ -78,11 +70,11 @@ func (m *Manager) RestoreCommittedCoordinator(t tid.TID, updateSubs []tid.SiteID
 			f.updateSubs[s] = true
 		}
 		if len(f.acksPending) == 0 {
-			m.endLocked(f)
+			m.end(f)
 			return
 		}
-		m.fanoutLocked(sortedSites(f.acksPending), m.outcomeMsgLocked(f), false)
-		m.scheduleLocked(f, m.cfg.RetryInterval)
+		m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), false)
+		m.schedule(f, m.cfg.RetryInterval)
 	})
 }
 
@@ -95,12 +87,8 @@ func (m *Manager) RestoreNBCoordinator(t tid.TID, sites []tid.SiteID,
 	parts []server.Participant) {
 
 	m.queue.Put(func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		f := m.families[t.Family]
-		if f == nil {
-			f = m.newFamilyLocked(t.Family)
-		}
+		f, _ := m.lockOrCreateFamily(t.Family)
+		defer m.unlockFamily(f)
 		f.coord = true
 		f.opts.NonBlocking = true
 		f.nbSites = sites
@@ -117,6 +105,6 @@ func (m *Manager) RestoreNBCoordinator(t tid.TID, sites []tid.SiteID,
 			f.ph = phPrepared
 			f.nbState = wire.NBPrepared
 		}
-		m.promoteLocked(f)
+		m.promote(f)
 	})
 }

@@ -51,14 +51,17 @@ func (m *Manager) Abort(t tid.TID) error {
 	}
 	fut := rt.NewFuture[wire.Outcome](m.r)
 	m.queue.Put(func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		f := m.families[t.Family]
-		if f == nil || f.ph != phActive {
+		f := m.lockFamily(t.Family)
+		if f == nil {
 			fut.Set(wire.OutcomeAbort)
 			return
 		}
-		m.abortFamilyLocked(f)
+		defer m.unlockFamily(f)
+		if f.ph != phActive {
+			fut.Set(wire.OutcomeAbort)
+			return
+		}
+		m.abortFamily(f)
 		fut.Set(wire.OutcomeAbort)
 	})
 	if _, ok := fut.WaitTimeout(m.cfg.RetryInterval * 600); !ok {
@@ -70,39 +73,40 @@ func (m *Manager) Abort(t tid.TID) error {
 // commitTop is the coordinator's commit-transaction entry, running on
 // a pool thread.
 func (m *Manager) commitTop(t tid.TID, opts Options, fut *rt.Future[wire.Outcome]) {
-	m.mu.Lock()
-	f := m.families[t.Family]
-	if f == nil || !f.coord || f.ph != phActive || m.closed {
-		m.mu.Unlock()
+	f := m.lockFamily(t.Family)
+	if f == nil || !f.coord || f.ph != phActive || m.isClosed() {
+		if f != nil {
+			m.unlockFamily(f)
+		}
 		fut.Set(wire.OutcomeAbort)
 		return
 	}
 	f.opts = opts
 	f.result = fut
-	parts := m.participantsLocked(f)
-	m.mu.Unlock()
+	parts := m.participants(f)
+	m.unlockFamily(f)
 
 	// Phase one, local half: ask each local server whether it is
 	// willing to commit (Figure 1 step 8).
 	local := m.voteRound(parts, opts)
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.families[t.Family] != f || f.ph != phActive {
+	live := m.relockFamily(f)
+	defer m.unlockFamily(f)
+	if !live || f.ph != phActive {
 		return // aborted concurrently
 	}
 	f.localVote = local
 	if local == wire.VoteNo {
-		m.abortFamilyLocked(f)
+		m.abortFamily(f)
 		return
 	}
 
 	if len(f.remoteSites) == 0 {
-		m.commitLocalLocked(f)
+		m.commitLocal(f)
 		return
 	}
 	if opts.NonBlocking {
-		m.nbBeginCommitLocked(f)
+		m.nbBeginCommit(f)
 		return
 	}
 
@@ -110,56 +114,58 @@ func (m *Manager) commitTop(t tid.TID, opts Options, fut *rt.Future[wire.Outcome
 	f.ph = phPreparing
 	f.votes[m.cfg.Site] = local
 	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "prepare")
-	m.fanoutLocked(sortedSites(f.remoteSites), m.prepareMsgLocked(f), opts.Multicast)
-	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.fanout(sortedSites(f.remoteSites), m.prepareMsg(f), opts.Multicast)
+	m.schedule(f, m.cfg.RetryInterval)
 }
 
-// commitLocalLocked finishes a transaction with no remote
-// participants: the best (and typical) case needs only one log write
-// (Figure 1 step 9).
-func (m *Manager) commitLocalLocked(f *family) {
+// commitLocal finishes a transaction with no remote participants: the
+// best (and typical) case needs only one log write (Figure 1 step 9).
+// Called and returns with f's lock held; the lock is released around
+// the force.
+func (m *Manager) commitLocal(f *family) {
 	if f.localVote == wire.VoteReadOnly && !f.opts.DisableReadOnlyOpt {
 		// Read-only: no log writes at all.
 		f.ph = phCommitted
-		m.stats.Committed++
+		m.bumpStats(func(s *Stats) { s.Committed++ })
 		f.result.Set(wire.OutcomeCommit)
-		m.releaseLocalLocked(f, true)
-		m.forgetLocked(f)
+		m.releaseLocal(f, true)
+		m.forget(f)
 		return
 	}
 	rec := &wal.Record{Type: wal.RecCommit, TID: tid.Top(f.id)}
-	m.mu.Unlock()
+	m.unlockFamily(f)
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn)
 		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
-	m.mu.Lock()
-	if m.families[f.id] != f {
+	if !m.relockFamily(f) {
 		return
 	}
 	if err != nil {
-		m.abortFamilyLocked(f)
+		m.abortFamily(f)
 		return
 	}
 	f.ph = phCommitted
-	m.stats.Committed++
+	m.bumpStats(func(s *Stats) { s.Committed++ })
 	f.result.Set(wire.OutcomeCommit)
-	m.releaseLocalLocked(f, true)
-	m.forgetLocked(f)
+	m.releaseLocal(f, true)
+	m.forget(f)
 }
 
 // onVote handles a subordinate's phase-one vote at the coordinator.
 func (m *Manager) onVote(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
-	if f == nil || !f.coord || f.ph != phPreparing || f.opts.NonBlocking {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.coord || f.ph != phPreparing || f.opts.NonBlocking {
 		return
 	}
 	f.votes[msg.From] = msg.Vote
 	if msg.Vote == wire.VoteNo {
-		m.abortFamilyLocked(f)
+		m.abortFamily(f)
 		return
 	}
 	//lint:ordered pure membership test; no effect depends on visit order
@@ -168,14 +174,14 @@ func (m *Manager) onVote(msg *wire.Msg) {
 			return // still waiting
 		}
 	}
-	m.decideCommit2PCLocked(f)
+	m.decideCommit2PC(f)
 }
 
-// decideCommit2PCLocked runs once every site has voted yes or
-// read-only: force the commit record (the commit point), answer the
-// application, then notify update subordinates. Read-only sites are
-// "omitted from the second phase".
-func (m *Manager) decideCommit2PCLocked(f *family) {
+// decideCommit2PC runs once every site has voted yes or read-only:
+// force the commit record (the commit point), answer the application,
+// then notify update subordinates. Read-only sites are "omitted from
+// the second phase". Called and returns with f's lock held.
+func (m *Manager) decideCommit2PC(f *family) {
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
 	//lint:ordered set construction; insertion order is unobservable
 	for s, v := range f.votes {
@@ -188,30 +194,29 @@ func (m *Manager) decideCommit2PCLocked(f *family) {
 		// critical path performance as in two-phase commitment" with
 		// no second phase and no log writes.
 		f.ph = phCommitted
-		m.stats.Committed++
+		m.bumpStats(func(s *Stats) { s.Committed++ })
 		f.result.Set(wire.OutcomeCommit)
-		m.releaseLocalLocked(f, true)
-		m.forgetLocked(f)
+		m.releaseLocal(f, true)
+		m.forget(f)
 		return
 	}
 
 	rec := &wal.Record{Type: wal.RecCommit, TID: tid.Top(f.id), Sites: sortedSites(f.updateSubs)}
-	m.mu.Unlock()
+	m.unlockFamily(f)
 	lsn, err := m.log.Append(rec)
 	if err == nil {
 		err = m.log.Force(lsn)
 		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 	}
-	m.mu.Lock()
-	if m.families[f.id] != f {
+	if !m.relockFamily(f) {
 		return
 	}
 	if err != nil {
-		m.abortFamilyLocked(f)
+		m.abortFamily(f)
 		return
 	}
 	f.ph = phCommitted
-	m.stats.Committed++
+	m.bumpStats(func(s *Stats) { s.Committed++ })
 	//lint:ordered set copy; insertion order is unobservable
 	for s := range f.updateSubs {
 		f.acksPending[s] = true
@@ -219,44 +224,48 @@ func (m *Manager) decideCommit2PCLocked(f *family) {
 	if len(f.acksPending) > 0 {
 		m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "notify")
 	}
-	m.fanoutLocked(sortedSites(f.updateSubs), m.outcomeMsgLocked(f), f.opts.Multicast)
+	m.fanout(sortedSites(f.updateSubs), m.outcomeMsg(f), f.opts.Multicast)
 	f.result.Set(wire.OutcomeCommit)
-	m.releaseLocalLocked(f, true)
+	m.releaseLocal(f, true)
 	if len(f.acksPending) == 0 {
-		m.endLocked(f)
+		m.end(f)
 		return
 	}
-	m.scheduleLocked(f, m.cfg.RetryInterval)
+	m.schedule(f, m.cfg.RetryInterval)
 }
 
-// onCommitAckLocked handles one commit acknowledgement (standalone or
+// onCommitAck handles one commit acknowledgement (standalone or
 // piggybacked). When the last subordinate's commit record is known
 // stable the coordinator writes an END record and may forget the
 // transaction.
-func (m *Manager) onCommitAckLocked(from tid.SiteID, t tid.TID) {
-	f := m.families[t.Family]
-	if f == nil || !f.coord || f.ph != phCommitted {
+func (m *Manager) onCommitAck(from tid.SiteID, t tid.TID) {
+	f := m.lockFamily(t.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.coord || f.ph != phCommitted {
 		return
 	}
 	delete(f.acksPending, from)
 	if len(f.acksPending) == 0 {
-		m.endLocked(f)
+		m.end(f)
 	}
 }
 
-// endLocked writes the END record and forgets the family.
-func (m *Manager) endLocked(f *family) {
+// end writes the END record and forgets the family (f's lock held).
+func (m *Manager) end(f *family) {
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "notify")
 	m.log.Append(&wal.Record{Type: wal.RecEnd, TID: tid.Top(f.id)}) //nolint:errcheck // lazy; loss is harmless
-	m.forgetLocked(f)
+	m.forget(f)
 }
 
-// abortFamilyLocked is the coordinator-side abort path (client abort,
-// local or remote No vote, protocol failure). Under presumed abort
-// nothing is forced and no acks are awaited.
-func (m *Manager) abortFamilyLocked(f *family) {
+// abortFamily is the coordinator-side abort path (client abort, local
+// or remote No vote, protocol failure). Under presumed abort nothing
+// is forced and no acks are awaited. Called with f's lock held.
+func (m *Manager) abortFamily(f *family) {
 	f.ph = phAborted
-	m.stats.Aborted++
+	m.bumpStats(func(s *Stats) { s.Aborted++ })
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
 	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
 	if f.result != nil {
@@ -268,31 +277,32 @@ func (m *Manager) abortFamilyLocked(f *family) {
 			notify = append(notify, s)
 		}
 	}
-	m.fanoutLocked(notify, &wire.Msg{Kind: wire.KAbort, TID: tid.Top(f.id)}, f.opts.Multicast)
-	m.releaseLocalLocked(f, false)
-	m.forgetLocked(f)
+	m.fanout(notify, &wire.Msg{Kind: wire.KAbort, TID: tid.Top(f.id)}, f.opts.Multicast)
+	m.releaseLocal(f, false)
+	m.forget(f)
 }
 
 // onInquire answers a blocked subordinate's outcome inquiry. A
 // transaction the coordinator has no record of was aborted — that is
 // the presumed-abort rule.
 func (m *Manager) onInquire(msg *wire.Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.families[msg.TID.Family]
-	switch {
-	case f == nil:
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
 		// Consult the resolved-outcome memory first; an unknown
 		// transaction was aborted — the presumed-abort rule.
-		if m.resolved[msg.TID.Family] == wire.OutcomeCommit {
-			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KCommit, TID: msg.TID})
+		if m.resolvedOutcome(msg.TID.Family) == wire.OutcomeCommit {
+			m.send(msg.From, &wire.Msg{Kind: wire.KCommit, TID: msg.TID})
 		} else {
-			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KAbort, TID: msg.TID})
+			m.send(msg.From, &wire.Msg{Kind: wire.KAbort, TID: msg.TID})
 		}
-	case f.ph == phAborted:
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KAbort, TID: msg.TID})
-	case f.ph == phCommitted:
-		m.sendLocked(msg.From, m.outcomeMsgLocked(f))
+		return
+	}
+	defer m.unlockFamily(f)
+	switch f.ph {
+	case phAborted:
+		m.send(msg.From, &wire.Msg{Kind: wire.KAbort, TID: msg.TID})
+	case phCommitted:
+		m.send(msg.From, m.outcomeMsg(f))
 	default:
 		// Still deciding; the subordinate will ask again.
 	}
@@ -302,46 +312,44 @@ func (m *Manager) onInquire(msg *wire.Msg) {
 
 // onPrepare handles phase one at a subordinate.
 func (m *Manager) onPrepare(msg *wire.Msg) {
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
 		// No record of the transaction: perhaps we crashed since
 		// joining, losing volatile updates. Voting No is the only
 		// safe answer.
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
 		return
 	}
 	if f.ph == phPrepared {
 		// Duplicate prepare (our vote was lost): answer again.
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteYes})
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteYes})
+		m.unlockFamily(f)
 		return
 	}
 	if f.ph != phActive {
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		return
 	}
 	f.opts = optionsFromFlags(msg.Flags)
-	parts := m.participantsLocked(f)
-	m.mu.Unlock()
+	parts := m.participants(f)
+	m.unlockFamily(f)
 
 	vote := m.voteRound(parts, f.opts)
 	switch vote {
 	case wire.VoteNo:
-		m.mu.Lock()
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
-		m.localAbortLocked(f)
-		m.mu.Unlock()
+		m.relockFamily(f) // stale descriptors still answer (as before the refactor)
+		m.send(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.localAbort(f)
+		m.unlockFamily(f)
 	case wire.VoteReadOnly:
 		// Read-only optimization: vote, release, forget; we take no
 		// part in phase two and write no log records.
-		m.mu.Lock()
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteReadOnly})
+		m.relockFamily(f)
+		m.send(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteReadOnly})
 		f.ph = phCommitted
-		m.releaseLocalLocked(f, true)
-		m.forgetLocked(f)
-		m.mu.Unlock()
+		m.releaseLocal(f, true)
+		m.forget(f)
+		m.unlockFamily(f)
 	default:
 		// Force the prepare record, then vote yes.
 		rec := &wal.Record{
@@ -354,53 +362,50 @@ func (m *Manager) onPrepare(msg *wire.Msg) {
 			err = m.log.Force(lsn)
 			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
 		}
-		m.mu.Lock()
-		if m.families[f.id] != f {
-			m.mu.Unlock()
+		if !m.relockFamily(f) {
+			m.unlockFamily(f)
 			return
 		}
 		if err != nil {
-			m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
-			m.localAbortLocked(f)
-			m.mu.Unlock()
+			m.send(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteNo})
+			m.localAbort(f)
+			m.unlockFamily(f)
 			return
 		}
 		f.ph = phPrepared
 		f.prepared = true
 		m.tr.PhaseBegin(m.cfg.Site, msg.TID, "prepared")
-		m.sendLocked(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteYes})
-		m.scheduleLocked(f, m.cfg.InquireInterval)
-		m.mu.Unlock()
+		m.send(msg.From, &wire.Msg{Kind: wire.KVote, TID: msg.TID, Vote: wire.VoteYes})
+		m.schedule(f, m.cfg.InquireInterval)
+		m.unlockFamily(f)
 	}
 }
 
 // onOutcome2PC handles COMMIT or ABORT at a subordinate.
 func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 	commit := msg.Kind == wire.KCommit
-	m.mu.Lock()
-	f := m.families[msg.TID.Family]
+	f := m.lockFamily(msg.TID.Family)
 	if f == nil {
 		// Already resolved and forgotten; the coordinator's COMMIT
 		// was a retry, so its ack was lost: acknowledge again.
 		if commit {
-			m.queueAckLocked(msg.From, msg.TID)
+			m.queueAck(msg.From, msg.TID)
 		}
-		m.mu.Unlock()
 		return
 	}
 	if f.coord {
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		return
 	}
 	if !commit {
-		m.localAbortLocked(f)
-		m.mu.Unlock()
+		m.localAbort(f)
+		m.unlockFamily(f)
 		return
 	}
 	opts := optionsFromFlags(msg.Flags)
 	f.opts = opts
 	coordinator := msg.From
-	parts := m.participantsLocked(f)
+	parts := m.participants(f)
 
 	if !opts.ForceSubCommit {
 		// Delayed-commit optimization: "the subordinate drops its
@@ -409,14 +414,13 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 		// coordinator must not forget first.
 		f.ph = phCommitted
 		m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		m.applyLocal(parts, f.id, true)
 		lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
-		m.mu.Lock()
-		if m.families[f.id] == f {
-			m.forgetLocked(f)
+		if m.relockFamily(f) {
+			m.forget(f)
 		}
-		m.mu.Unlock()
+		m.unlockFamily(f)
 		if err != nil {
 			return
 		}
@@ -424,15 +428,13 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 			if m.log.WaitDurable(lsn) != nil {
 				return
 			}
-			m.mu.Lock()
-			defer m.mu.Unlock()
-			if m.closed {
+			if m.isClosed() {
 				return
 			}
 			if opts.ImmediateAck {
-				m.sendLocked(coordinator, &wire.Msg{Kind: wire.KCommitAck, TID: msg.TID})
+				m.send(coordinator, &wire.Msg{Kind: wire.KCommitAck, TID: msg.TID})
 			} else {
-				m.queueAckLocked(coordinator, msg.TID)
+				m.queueAck(coordinator, msg.TID)
 			}
 		})
 		return
@@ -442,35 +444,36 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 	// and only then drop locks and acknowledge.
 	f.ph = phCommitted
 	m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
-	m.mu.Unlock()
+	m.unlockFamily(f)
 	lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
 	if err == nil {
 		err = m.log.Force(lsn)
 		m.tr.LogForce(m.cfg.Site, msg.TID, wal.RecCommit.String())
 	}
 	m.applyLocal(parts, f.id, true)
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	live := m.relockFamily(f)
+	defer m.unlockFamily(f)
 	if err == nil {
 		if opts.ImmediateAck {
-			m.sendLocked(coordinator, &wire.Msg{Kind: wire.KCommitAck, TID: msg.TID})
+			m.send(coordinator, &wire.Msg{Kind: wire.KCommitAck, TID: msg.TID})
 		} else {
-			m.queueAckLocked(coordinator, msg.TID)
+			m.queueAck(coordinator, msg.TID)
 		}
 	}
-	if m.families[f.id] == f {
-		m.forgetLocked(f)
+	if live {
+		m.forget(f)
 	}
 }
 
-// localAbortLocked aborts the family at this subordinate site.
-func (m *Manager) localAbortLocked(f *family) {
+// localAbort aborts the family at this subordinate site (f's lock
+// held).
+func (m *Manager) localAbort(f *family) {
 	f.ph = phAborted
-	m.stats.Aborted++
+	m.bumpStats(func(s *Stats) { s.Aborted++ })
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepared")
 	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
-	m.releaseLocalLocked(f, false)
-	m.forgetLocked(f)
+	m.releaseLocal(f, false)
+	m.forget(f)
 }
 
 // --- shared helpers ---
@@ -503,10 +506,10 @@ func (m *Manager) voteRound(parts []server.Participant, opts Options) wire.Vote 
 	return combined
 }
 
-// participantsLocked snapshots the family's joined servers as
-// closures bound to the family id, so vote rounds and releases can
-// run without holding m.mu.
-func (m *Manager) participantsLocked(f *family) []server.Participant {
+// participants snapshots the family's joined servers as closures
+// bound to the family id, so vote rounds and releases can run without
+// holding the family lock.
+func (m *Manager) participants(f *family) []server.Participant {
 	out := make([]server.Participant, 0, len(f.participants))
 	for _, name := range det.SortedKeys(f.participants) {
 		out = append(out, boundParticipant{p: f.participants[name], f: f.id})
@@ -528,11 +531,11 @@ func (b boundParticipant) AbortFamily(tid.FamilyID)    { b.p.AbortFamily(b.f) }
 func (b boundParticipant) CommitChild(c, p tid.TID)    { b.p.CommitChild(c, p) }
 func (b boundParticipant) AbortChild(c tid.TID)        { b.p.AbortChild(c) }
 
-// releaseLocalLocked tells local servers to apply or undo and drop
-// locks (Figure 1 step 11). The call is one-way — it is not on the
-// completion path — so it runs on a fresh thread.
-func (m *Manager) releaseLocalLocked(f *family, commit bool) {
-	parts := m.participantsLocked(f)
+// releaseLocal tells local servers to apply or undo and drop locks
+// (Figure 1 step 11). The call is one-way — it is not on the
+// completion path — so it runs on a fresh thread. f's lock is held.
+func (m *Manager) releaseLocal(f *family, commit bool) {
+	parts := m.participants(f)
 	if len(parts) == 0 {
 		return
 	}

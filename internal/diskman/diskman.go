@@ -25,6 +25,7 @@ import (
 	"camelot/internal/recman"
 	"camelot/internal/tid"
 	"camelot/internal/wal"
+	"camelot/internal/wire"
 )
 
 // Snapshot is the durable disk image of one site: the committed data
@@ -95,6 +96,53 @@ func (ps *PageStore) write(s *Snapshot) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	ps.snap = s.clone()
+}
+
+// Outcome answers, from the durable image alone, how a family the
+// checkpoint absorbed ended. It backs the transaction manager's
+// resolved-outcome memory after TruncateResolved has dropped the
+// family from RAM: presumed-abort inquiries and non-blocking status
+// requests for arbitrarily old transactions still get the true
+// answer. OutcomeUnknown means the image never absorbed the family.
+// Safe to call concurrently from any thread.
+func (ps *PageStore) Outcome(f tid.FamilyID) wire.Outcome {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, t := range ps.snap.Committed {
+		if t.Family == f {
+			return wire.OutcomeCommit
+		}
+	}
+	for _, t := range ps.snap.Aborted {
+		if t.Family == f {
+			return wire.OutcomeAbort
+		}
+	}
+	return wire.OutcomeUnknown
+}
+
+// AbsorbedFamilies lists every family whose outcome the image has
+// absorbed; the transaction manager may truncate these from its
+// in-memory resolved map, re-answering later inquiries through
+// Outcome.
+func (ps *PageStore) AbsorbedFamilies() []tid.FamilyID {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	seen := make(map[tid.FamilyID]bool)
+	var out []tid.FamilyID
+	for _, t := range ps.snap.Committed {
+		if !seen[t.Family] {
+			seen[t.Family] = true
+			out = append(out, t.Family)
+		}
+	}
+	for _, t := range ps.snap.Aborted {
+		if !seen[t.Family] {
+			seen[t.Family] = true
+			out = append(out, t.Family)
+		}
+	}
+	return out
 }
 
 // Checkpoint materializes the durable log into ps and truncates the

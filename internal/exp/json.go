@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"camelot/internal/params"
+	"camelot/internal/stats"
+)
+
+// BenchSchema identifies the machine-readable report layout. Bump the
+// version suffix on any incompatible change so perf-trajectory tooling
+// comparing BENCH_*.json files across commits can refuse mismatches.
+const BenchSchema = "camelot-bench/v1"
+
+// BenchTable is one experiment's table in machine-readable form.
+type BenchTable struct {
+	Name   string     `json:"name"`   // stable experiment key (the -only name)
+	Title  string     `json:"title"`  // human title, as printed by the text mode
+	Header []string   `json:"header"` // column names
+	Rows   [][]string `json:"rows"`   // body cells, formatted as in text mode
+}
+
+// BenchReport is the root object camelot-bench -json emits.
+type BenchReport struct {
+	Schema string       `json:"schema"`
+	Quick  bool         `json:"quick"`
+	Tables []BenchTable `json:"tables"`
+}
+
+// TableJSON converts one stats.Table under a stable experiment name.
+func TableJSON(name string, t *stats.Table) BenchTable {
+	return BenchTable{Name: name, Title: t.Title(), Header: t.Header(), Rows: t.Rows()}
+}
+
+// RunAllJSON runs every table-shaped experiment in the index (the
+// same set RunAll prints, minus the prose-only Figure 1 walkthrough
+// and the static-analysis formulas) and returns the report.
+func RunAllJSON(quick bool) *BenchReport {
+	trials := 25
+	if quick {
+		trials = 8
+	}
+	paper := params.Paper()
+	vax := params.VAX()
+
+	rep := &BenchReport{Schema: BenchSchema, Quick: quick}
+	add := func(name string, t *stats.Table) {
+		rep.Tables = append(rep.Tables, TableJSON(name, t))
+	}
+	add("table1", Table1())
+	add("table2", Table2(paper))
+	_, t3 := Table3(paper, trials)
+	add("table3", t3)
+	add("figure2", Figure2(paper, trials))
+	add("figure3", Figure3(paper, trials))
+	add("figure4", Figure4(vax))
+	add("figure5", Figure5(vax))
+	add("rpc", RPCBreakdown(paper, 10*trials))
+	add("multicast", MulticastVariance(paper, 4*trials))
+	add("contention", LockContention(paper, trials))
+	add("ablation-group-commit", AblationGroupCommit(vax))
+	add("ablation-read-only", AblationReadOnly(paper, trials))
+	add("ablation-commit-variants", AblationCommitVariants(paper, trials))
+	return rep
+}

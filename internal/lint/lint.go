@@ -24,7 +24,11 @@
 //   - tracepair: every wal force in protocol code emits its matching
 //     trace.LogForce, and PhaseBegin/PhaseEnd literals pair up, so
 //     the paper's budget counters cannot silently drift from the
-//     code.
+//     code;
+//   - lockorder: no family-lock acquisition in internal/core while
+//     the ack or resolved component lock is held — the §3.4 lock
+//     hierarchy runs table-shard → family → component, and an
+//     inversion deadlocks the real runtime.
 //
 // Each analyzer honors a site-level escape hatch: a `//lint:<name>
 // <justification>` comment (alias `//lint:ordered` for maprange) on

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder enforces the §3.4 two-level lock hierarchy inside the
+// transaction manager: table-shard → family → component. The component
+// locks are leaves — in particular the delayed-ack lock (ackMu) and
+// the resolved-outcome lock (resMu) are taken from inside family
+// critical sections, so acquiring a family lock while either is held
+// is a lock-order inversion that can deadlock the real runtime (and,
+// in simulation, silently serialize where the paper's design does
+// not).
+//
+// The analyzer tracks, in source order within each function body,
+// whether ackMu or resMu is held (via lockAttributed with the
+// lockClassAcks/lockClassResolved class, or a direct .Lock() on the
+// field) and flags any family-lock acquisition — lockFamily,
+// lockOrCreateFamily, relockFamily, or lockAttributed with
+// lockClassFamily — inside that window. A deferred Unlock does not
+// close the window: the lock stays held to the end of the scope.
+// Function literals are separate scopes; the analyzer does not reason
+// about when a closure runs.
+//
+// Escape hatch: `//lint:lockorder <why>` on the acquisition site.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "no family-lock acquisition while holding the ack or resolved component lock",
+	Run:  runLockOrder,
+}
+
+// componentMutexFields maps the Manager fields the analyzer watches to
+// the display name used in reports.
+var componentMutexFields = map[string]string{
+	"ackMu": "ack",
+	"resMu": "resolved",
+}
+
+// lockClassComponents maps lockAttributed class constants to the same
+// display names.
+var lockClassComponents = map[string]string{
+	"lockClassAcks":     "ack",
+	"lockClassResolved": "resolved",
+}
+
+func runLockOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lockOrderScope(pass, fd.Name.Name, fd.Body)
+		}
+	}
+	return nil
+}
+
+// lockOrderScope walks one function body in source order, tracking
+// which watched component locks are held.
+func lockOrderScope(pass *Pass, fname string, body *ast.BlockStmt) {
+	held := make(map[string]token.Pos)
+
+	report := func(pos token.Pos, what string) {
+		if len(held) == 0 || pass.allowed(pos, "lockorder") {
+			return
+		}
+		names := make([]string, 0, len(held))
+		for name := range held {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		pass.Reportf(pos,
+			"%s acquires a family lock (%s) while holding the %s lock; the §3.4 order is table-shard → family → component (or justify with //lint:lockorder)",
+			fname, what, strings.Join(names, " and "))
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure is its own scope: it runs at some later
+			// time, not at its definition site.
+			lockOrderScope(pass, fname, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock fires at scope exit, so the lock
+			// stays held for the rest of the walk; skip the call so
+			// it is not mistaken for an immediate release.
+			if componentMutexReceiver(n.Call) != "" && calleeNamed(pass, n.Call, "Unlock") {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			fn := pass.calleeMethod(n)
+			if fn == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "lockAttributed":
+				if len(n.Args) != 2 {
+					return true
+				}
+				class, ok := n.Args[1].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if name := lockClassComponents[class.Name]; name != "" {
+					held[name] = n.Pos()
+				} else if class.Name == "lockClassFamily" {
+					report(n.Pos(), "lockAttributed with lockClassFamily")
+				}
+			case "Lock":
+				if name := componentMutexReceiver(n); name != "" {
+					held[name] = n.Pos()
+				}
+			case "Unlock":
+				if name := componentMutexReceiver(n); name != "" {
+					delete(held, name)
+				}
+			case "lockFamily", "lockOrCreateFamily", "relockFamily":
+				report(n.Pos(), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// componentMutexReceiver reports which watched component mutex a
+// method call like m.ackMu.Lock() targets, or "" if the receiver is
+// not one of the watched fields.
+func componentMutexReceiver(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return componentMutexFields[recv.Sel.Name]
+}
+
+// calleeNamed reports whether the call resolves to a method with the
+// given name.
+func calleeNamed(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := pass.calleeMethod(call)
+	return fn != nil && fn.Name() == name
+}

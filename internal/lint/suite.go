@@ -7,7 +7,7 @@ import (
 
 // Analyzers is the camelot-lint suite, in the order the driver runs
 // them.
-var Analyzers = []*Analyzer{MapRange, WallTime, RawGo, TracePair}
+var Analyzers = []*Analyzer{MapRange, WallTime, RawGo, TracePair, LockOrder}
 
 // deterministicPkgs are the packages whose execution must replay
 // byte-identically under the simulation kernel: the protocol core,
@@ -33,7 +33,9 @@ var deterministicPkgs = map[string]bool{
 //     examples/ may touch the wall clock;
 //   - rawgo covers the same universe minus the scheduler
 //     implementations (internal/sim, internal/rt, internal/cthreads);
-//   - tracepair covers the protocol code in internal/core.
+//   - tracepair covers the protocol code in internal/core;
+//   - lockorder covers internal/core, where the §3.4 two-level lock
+//     hierarchy (table-shard → family → component) lives.
 func InScope(a *Analyzer, pkgPath string) bool {
 	switch a {
 	case MapRange:
@@ -45,7 +47,7 @@ func InScope(a *Analyzer, pkgPath string) bool {
 			pkgPath != "camelot/internal/rt" &&
 			pkgPath != "camelot/internal/sim" &&
 			pkgPath != "camelot/internal/cthreads"
-	case TracePair:
+	case TracePair, LockOrder:
 		return pkgPath == "camelot/internal/core"
 	}
 	return false

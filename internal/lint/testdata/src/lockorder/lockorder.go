@@ -1,0 +1,81 @@
+// Package lockorder exercises the lockorder analyzer: acquiring a
+// family lock while the ack or resolved component lock is held
+// inverts the §3.4 table-shard → family → component hierarchy and is
+// flagged.
+package lockorder
+
+type mutex struct{}
+
+func (*mutex) Lock()   {}
+func (*mutex) Unlock() {}
+
+const (
+	lockClassFamily   = "tranman.family"
+	lockClassAcks     = "tranman.component/acks"
+	lockClassResolved = "tranman.component/resolved"
+)
+
+type family struct{ mu *mutex }
+
+type mgr struct {
+	ackMu *mutex
+	resMu *mutex
+}
+
+func (m *mgr) lockAttributed(mu *mutex, class string) { mu.Lock(); _ = class }
+
+func (m *mgr) lockFamily(id int) *family                 { _ = id; return nil }
+func (m *mgr) lockOrCreateFamily(id int) (*family, bool) { _ = id; return nil, false }
+func (m *mgr) relockFamily(f *family) bool               { _ = f; return true }
+
+func (m *mgr) releasedFirst(id int) {
+	m.lockAttributed(m.ackMu, lockClassAcks)
+	m.ackMu.Unlock()
+	m.lockFamily(id) // released above: not a finding
+}
+
+func (m *mgr) ackThenFamily(id int) {
+	m.lockAttributed(m.ackMu, lockClassAcks)
+	m.lockFamily(id) // want "while holding the ack lock"
+	m.ackMu.Unlock()
+}
+
+func (m *mgr) directLockThenCreate(id int) {
+	m.resMu.Lock()
+	m.lockOrCreateFamily(id) // want "while holding the resolved lock"
+	m.resMu.Unlock()
+}
+
+func (m *mgr) deferredUnlockStillHeld(f *family) {
+	m.lockAttributed(m.resMu, lockClassResolved)
+	defer m.resMu.Unlock()
+	m.relockFamily(f) // want "while holding the resolved lock"
+}
+
+func (m *mgr) bothHeld(f *family) {
+	m.lockAttributed(m.ackMu, lockClassAcks)
+	m.resMu.Lock()
+	m.lockAttributed(f.mu, lockClassFamily) // want "while holding the ack and resolved lock"
+	m.resMu.Unlock()
+	m.ackMu.Unlock()
+}
+
+func (m *mgr) closureIsItsOwnScope(id int) {
+	m.lockAttributed(m.ackMu, lockClassAcks)
+	fn := func() { m.lockFamily(id) } // runs later: not a finding
+	m.ackMu.Unlock()
+	fn()
+}
+
+func (m *mgr) justified(id int) {
+	m.lockAttributed(m.resMu, lockClassResolved)
+	//lint:lockorder recovery path; single-threaded before the node opens
+	m.lockFamily(id)
+	m.resMu.Unlock()
+}
+
+func (m *mgr) bare(id int) {
+	m.lockAttributed(m.resMu, lockClassResolved)
+	m.lockFamily(id) /* want "needs a justification" */ //lint:lockorder
+	m.resMu.Unlock()
+}

@@ -45,10 +45,18 @@ type Runtime interface {
 	Rand() *rand.Rand
 }
 
-// Mutex is a purely exclusive lock, as in C-Threads.
+// Mutex is a purely exclusive lock, as in C-Threads. TryLock makes
+// contention observable: callers that want to count lock waits try
+// first and fall back to a blocking Lock. In simulation the kernel is
+// cooperative and no mutex is ever held across a context switch, so
+// TryLock always succeeds there — which doubles as a runtime check of
+// the determinism invariant.
 type Mutex interface {
 	Lock()
 	Unlock()
+	// TryLock acquires the mutex if it is free and reports whether it
+	// did. It never blocks.
+	TryLock() bool
 }
 
 // Cond is a condition variable. Unlike sync.Cond, implementations

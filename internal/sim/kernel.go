@@ -364,6 +364,23 @@ func (m *simMutex) Lock() {
 	m.k.park(p, "mutex")
 }
 
+// TryLock acquires the mutex if it is free. In the cooperative kernel
+// every mutex is released before its holder parks, so a mutex can
+// only be observed locked by the thread that holds it; for any other
+// thread TryLock always succeeds. It emits no kernel events and never
+// changes the schedule.
+func (m *simMutex) TryLock() bool {
+	p := m.k.mustRunning("Mutex.TryLock")
+	if p != nil && p.dying {
+		return true
+	}
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	return true
+}
+
 func (m *simMutex) Unlock() {
 	p := m.k.mustRunning("Mutex.Unlock")
 	if p != nil && p.dying {

@@ -83,3 +83,20 @@ func (t *Table) String() string {
 	}
 	return b.String()
 }
+
+// Title returns the table's title line.
+func (t *Table) Title() string { return t.title }
+
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string {
+	return append([]string(nil), t.header...)
+}
+
+// Rows returns a copy of the table body.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}

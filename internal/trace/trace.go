@@ -168,16 +168,25 @@ type Collector struct {
 	families map[tid.FamilyID]map[tid.SiteID]*FamilyCounters
 	open     map[phaseKey]time.Duration
 	phaseLat map[string]*stats.Sample
+	// lockWaits counts contended lock acquisitions per site and lock
+	// class. It is a pure counter — no timeline event — because lock
+	// waits are a property of the host runtime, not of the simulated
+	// protocol: in the cooperative simulation kernel no mutex is ever
+	// held across a context switch, so these counters are provably
+	// zero there, and a nonzero reading in simulation means the
+	// determinism invariant was broken.
+	lockWaits map[tid.SiteID]map[string]int
 }
 
 // New returns an empty collector reading timestamps from r.
 func New(r rt.Runtime) *Collector {
 	return &Collector{
-		r:        r,
-		sites:    make(map[tid.SiteID]*SiteCounters),
-		families: make(map[tid.FamilyID]map[tid.SiteID]*FamilyCounters),
-		open:     make(map[phaseKey]time.Duration),
-		phaseLat: make(map[string]*stats.Sample),
+		r:         r,
+		sites:     make(map[tid.SiteID]*SiteCounters),
+		families:  make(map[tid.FamilyID]map[tid.SiteID]*FamilyCounters),
+		open:      make(map[phaseKey]time.Duration),
+		phaseLat:  make(map[string]*stats.Sample),
+		lockWaits: make(map[tid.SiteID]map[string]int),
 	}
 }
 
@@ -390,6 +399,26 @@ func (c *Collector) IPC(site tid.SiteID) {
 	c.siteLocked(site).IPCs++
 }
 
+// LockWait counts one contended acquisition of a lock of the given
+// class at site: the caller's TryLock failed and it fell back to a
+// blocking Lock. No timeline event is recorded — in simulation the
+// count must stay zero (the kernel is cooperative), and on the real
+// runtime an event per wait would perturb the very contention being
+// measured.
+func (c *Collector) LockWait(site tid.SiteID, class string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.lockWaits[site]
+	if m == nil {
+		m = make(map[string]int)
+		c.lockWaits[site] = m
+	}
+	m[class]++
+}
+
 // Crash records a site crash.
 func (c *Collector) Crash(site tid.SiteID) {
 	if c == nil {
@@ -503,6 +532,42 @@ func (c *Collector) FamilyTotal(t tid.TID) FamilyCounters {
 	return total
 }
 
+// LockWaits returns site's contended-acquisition counts by lock
+// class, as a copy.
+func (c *Collector) LockWaits(site tid.SiteID) map[string]int {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	src := c.lockWaits[site]
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(src))
+	//lint:ordered map copy; insertion order is unobservable
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// LockWaitTotal sums site's contended acquisitions across all lock
+// classes.
+func (c *Collector) LockWaitTotal(site tid.SiteID) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	//lint:ordered commutative sum; visit order cannot be observed
+	for _, v := range c.lockWaits[site] {
+		total += v
+	}
+	return total
+}
+
 // PhaseLatency returns the latency sample for the named phase, or an
 // empty sample. The returned sample is a snapshot copy.
 func (c *Collector) PhaseLatency(phase string) *stats.Sample {
@@ -541,4 +606,5 @@ func (c *Collector) Reset() {
 	c.families = make(map[tid.FamilyID]map[tid.SiteID]*FamilyCounters)
 	c.open = make(map[phaseKey]time.Duration)
 	c.phaseLat = make(map[string]*stats.Sample)
+	c.lockWaits = make(map[tid.SiteID]map[string]int)
 }
