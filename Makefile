@@ -1,11 +1,12 @@
 # Build and verification entry points. `make check` is the gate a
 # change must pass before merging: formatting, vet, a full build, the
 # camelot-lint determinism suite, the entire test suite under the race
-# detector, and a short pass over the fault-injection torture suite.
+# detector, a short pass over the fault-injection torture suite, and a
+# bounded systematic chaos sweep for both commitment protocols.
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race torture golden
+.PHONY: all build test check fmt vet lint race torture chaos golden
 
 all: build
 
@@ -39,6 +40,15 @@ race:
 torture:
 	$(GO) test -short -run TestAtomicityUnderRandomFaults ./camelot
 
+# A bounded systematic fault sweep per commitment protocol: the pilot
+# enumerates every injection point (log writes, datagram sends,
+# checkpoint truncations) and camelot-chaos replays the workload with
+# one fault per sampled point, checking the recovery oracle each time.
+# The unbounded sweep is `go run ./cmd/camelot-chaos` (drop -points).
+chaos:
+	$(GO) run ./cmd/camelot-chaos -points 200
+	$(GO) run ./cmd/camelot-chaos -points 200 -nonblocking
+
 # Regenerate the camelot-trace golden files after an intended change
 # to the event schema or the simulation timeline. Lints first: goldens
 # regenerated from a tree that breaks the determinism rules would bake
@@ -46,5 +56,5 @@ torture:
 golden: lint
 	$(GO) test ./cmd/camelot-trace -update
 
-check: fmt vet build lint race torture
+check: fmt vet build lint race torture chaos
 	@echo "check: OK"

@@ -90,6 +90,10 @@ type Config struct {
 	// them back through Cluster.Trace. Off by default: the
 	// uninstrumented path costs one nil check per hook.
 	Trace bool
+	// WrapStore, if non-nil, wraps each new node's stable log store.
+	// The chaos explorer uses it to interpose a fault-injecting store
+	// that tears or corrupts the k-th log write of a schedule.
+	WrapStore func(site SiteID, s wal.Store) wal.Store
 }
 
 // DefaultConfig returns a cluster configuration with the paper's
@@ -165,7 +169,11 @@ func (c *Cluster) AddNode(id SiteID) *Node {
 	if _, dup := c.nodes[id]; dup {
 		panic(fmt.Sprintf("camelot: duplicate site id %d", id))
 	}
-	n := &Node{cluster: c, id: id, store: wal.NewMemStore(), pages: diskman.NewPageStore()}
+	var store wal.Store = wal.NewMemStore()
+	if c.cfg.WrapStore != nil {
+		store = c.cfg.WrapStore(id, store)
+	}
+	n := &Node{cluster: c, id: id, store: store, pages: diskman.NewPageStore()}
 	n.start(nil)
 	c.nodes[id] = n
 	return n
@@ -180,7 +188,7 @@ func (c *Cluster) Node(id SiteID) *Node {
 type Node struct {
 	cluster *Cluster
 	id      SiteID
-	store   *wal.MemStore
+	store   wal.Store
 	pages   *diskman.PageStore
 	kernel  *rt.CPU
 
@@ -297,16 +305,27 @@ func (n *Node) Crash() {
 
 // Recover restarts a crashed node: the recovery process replays the
 // log, reinstalls server state, re-acquires in-doubt locks, and
-// resumes unresolved commitments.
-func (n *Node) Recover() {
+// resumes unresolved commitments. If the log is unreadable — mid-log
+// corruption rather than a clean torn tail — recovery refuses to
+// guess: the node stays crashed and the error says why.
+func (n *Node) Recover() error {
 	if !n.crashed {
-		return
+		return nil
 	}
 	// Sorted so servers restart in the same order every replay.
 	n.start(det.SortedKeys(n.servers))
+	if err := recoverNode(n); err != nil {
+		// Fail stop: a site must not serve traffic from a log it
+		// cannot trust.
+		n.crashed = true
+		n.tm.Close()
+		n.log.Close()
+		n.cluster.net.SetDown(n.id, true)
+		return err
+	}
 	n.cluster.tr.Recover(n.id)
 	n.cluster.net.SetDown(n.id, false)
-	recoverNode(n)
+	return nil
 }
 
 // Crashed reports whether the node is down.
@@ -324,6 +343,7 @@ func (n *Node) Checkpoint() (int, error) {
 	if err != nil {
 		return cut, err
 	}
+	n.cluster.tr.Checkpoint(n.id, cut)
 	// The image now remembers every absorbed outcome durably; drop
 	// them from the TM's unbounded in-memory map (Stats.ResolvedRetained
 	// measures what stays). Inquiries for truncated families fall

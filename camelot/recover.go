@@ -11,11 +11,12 @@ import (
 // reopened log: load the disk manager's page image, redo the
 // retained log tail's committed updates on top of it, reinstall
 // in-doubt updates under re-acquired locks, and resume unresolved
-// commitments.
-func recoverNode(n *Node) {
+// commitments. An unreadable log (wal.ErrCorrupt) is returned to the
+// caller, which must keep the node down.
+func recoverNode(n *Node) error {
 	a, data, _, err := diskman.Recover(n.id, n.log, n.pages)
 	if err != nil {
-		return
+		return err
 	}
 
 	// Never reuse a previous incarnation's family identifiers. The
@@ -79,4 +80,5 @@ func recoverNode(n *Node) {
 	for _, res := range a.Resume {
 		n.tm.RestoreCommittedCoordinator(res.TID, res.UpdateSubs, res.NonBlocking)
 	}
+	return nil
 }

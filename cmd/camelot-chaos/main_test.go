@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"camelot/internal/chaos"
+)
+
+// TestSweepTextReport runs a small bounded sweep end to end through
+// the CLI plumbing and checks the human-readable report.
+func TestSweepTextReport(t *testing.T) {
+	out, failed, err := run(options{sites: 3, seed: 1, txns: 5, points: 4})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failed {
+		t.Fatalf("sweep reported failures:\n%s", out)
+	}
+	for _, want := range []string{"chaos sweep: two-phase", "enumerated", "zero invariant violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepJSONDeterministic pins that two identical CLI invocations
+// emit byte-identical JSON reports.
+func TestSweepJSONDeterministic(t *testing.T) {
+	opts := options{sites: 3, seed: 3, txns: 4, points: 2, jsonOut: true}
+	a, _, err := run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same options, different -json bytes")
+	}
+	if _, err := chaos.DecodeReport([]byte(a)); err != nil {
+		t.Errorf("-json output does not decode: %v", err)
+	}
+}
+
+// TestReplayCorpusFile replays one of the checked-in §7 repro files
+// through the -repro path.
+func TestReplayCorpusFile(t *testing.T) {
+	repro := filepath.Join("..", "..", "internal", "chaos", "testdata", "orphaned-join.json")
+	out, failed, err := run(options{repro: repro})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if failed {
+		t.Fatalf("corpus replay failed:\n%s", out)
+	}
+	if !strings.Contains(out, "all invariants hold") {
+		t.Errorf("replay output:\n%s", out)
+	}
+}

@@ -1,0 +1,351 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/oracle"
+	"camelot/internal/params"
+	"camelot/internal/sim"
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// recoverDelay is how long a crashed site stays down before the
+// engine restarts it — long enough for peers to notice (timeouts are
+// 50–200 ms in the workload config), short enough that the workload
+// keeps making progress.
+const recoverDelay = 250 * time.Millisecond
+
+// defaultPartitionWindow heals a ModePartition cut that did not
+// specify WindowMs.
+const defaultPartitionWindow = 300 * time.Millisecond
+
+// Result is one run's verdict.
+type Result struct {
+	// Schedule echoes what was run.
+	Schedule Schedule `json:"schedule"`
+	// Outcomes is the client's view of each workload transaction.
+	Outcomes []string `json:"outcomes"`
+	// Violations lists every broken invariant; empty means the
+	// cluster survived the schedule.
+	Violations []string `json:"violations,omitempty"`
+	// Deadlock is the kernel's deadlock report, if the run wedged.
+	Deadlock string `json:"deadlock,omitempty"`
+	// Points is the enumerated injection-point list; present only for
+	// a fault-free pilot run.
+	Points []Point `json:"points,omitempty"`
+}
+
+// Failed reports whether the run broke any invariant.
+func (r *Result) Failed() bool {
+	return len(r.Violations) > 0 || r.Deadlock != ""
+}
+
+// Run replays the schedule's seeded workload with its faults injected
+// and checks the recovery oracle. The same schedule always produces
+// the same Result.
+func Run(s Schedule) (*Result, error) {
+	if s.Version == "" {
+		s.Version = Version
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("chaos: version %q, want %q", s.Version, Version)
+	}
+	if s.Sites < 1 || s.Txns < 1 {
+		return nil, fmt.Errorf("chaos: schedule needs sites and txns")
+	}
+	for _, f := range s.Faults {
+		if err := validFault(f); err != nil {
+			return nil, err
+		}
+	}
+	e := &engine{sched: s, msgFaults: make(map[int]Fault)}
+	return e.run()
+}
+
+// engine is the per-run state: the cluster under test, the armed
+// fault hooks, and the injection-point counters.
+type engine struct {
+	sched Schedule
+
+	k      *sim.Kernel
+	c      *camelot.Cluster
+	sites  []camelot.SiteID
+	stores []*FaultStore // parallel to sites
+
+	mu        sync.Mutex
+	msgCount  int
+	msgLabels []string // pilot labels, one per counted datagram
+	msgFaults map[int]Fault
+	recovery  []string // recovery failures, reported as violations
+}
+
+func srvName(id camelot.SiteID) string { return fmt.Sprintf("srv%d", id) }
+
+// workloadConfig mirrors the functional-test configuration: the fast
+// cost model with short timeouts, so a sweep of hundreds of runs
+// stays cheap while still exercising every timer path.
+func workloadConfig() camelot.Config {
+	cfg := camelot.DefaultConfig()
+	cfg.Params = params.Fast()
+	cfg.Threads = 5
+	cfg.GroupCommit = true
+	cfg.LogFlushInterval = 20 * time.Millisecond
+	cfg.LockTimeout = 500 * time.Millisecond
+	cfg.RetryInterval = 50 * time.Millisecond
+	cfg.InquireInterval = 50 * time.Millisecond
+	cfg.PromotionTimeout = 100 * time.Millisecond
+	cfg.AckFlushInterval = 20 * time.Millisecond
+	cfg.RPCTimeout = 200 * time.Millisecond
+	cfg.Trace = true
+	return cfg
+}
+
+func (e *engine) run() (*Result, error) {
+	s := e.sched
+	e.k = sim.New(s.Seed)
+	cfg := workloadConfig()
+	cfg.WrapStore = func(site camelot.SiteID, inner wal.Store) wal.Store {
+		fs := NewFaultStore(inner, func() { e.crashAndRecover(site) })
+		e.stores = append(e.stores, fs)
+		return fs
+	}
+	e.c = camelot.NewCluster(e.k, cfg)
+	for i := 1; i <= s.Sites; i++ {
+		id := camelot.SiteID(i)
+		e.sites = append(e.sites, id)
+		e.c.AddNode(id).AddServer(srvName(id))
+	}
+
+	// Arm the stable-store faults.
+	for _, f := range s.Faults {
+		switch f.Class {
+		case ClassForce, ClassCkpt:
+			idx := int(f.Site) - 1
+			if idx < 0 || idx >= len(e.stores) {
+				return nil, fmt.Errorf("chaos: fault site %d out of range", f.Site)
+			}
+			ff := f
+			e.stores[idx].Arm(&ff)
+		case ClassMsg:
+			e.msgFaults[f.Index] = f
+		}
+	}
+	e.c.Network().SetInjector(e.inject)
+
+	txns := make([]oracle.Txn, s.Txns)
+	var violations []string
+	e.k.Go("chaos-client", func() {
+		e.workload(txns)
+		violations = e.verify(txns)
+		e.k.Stop()
+	})
+	e.k.RunUntil(10 * time.Minute)
+
+	res := &Result{Schedule: s, Deadlock: e.k.Deadlocked(), Violations: violations}
+	for _, tx := range txns {
+		res.Outcomes = append(res.Outcomes, tx.Outcome.String())
+	}
+	if len(s.Faults) == 0 {
+		res.Points = e.points()
+	}
+	return res, nil
+}
+
+// inject is the transport hook: it counts every datagram send and
+// fires any msg fault addressed to the current count. It runs with
+// the network lock held, so side effects are scheduled via After.
+func (e *engine) inject(from, to tid.SiteID, payload any) bool {
+	e.mu.Lock()
+	k := e.msgCount
+	e.msgCount++
+	if len(e.sched.Faults) == 0 {
+		e.msgLabels = append(e.msgLabels, fmt.Sprintf("%s %d→%d", payloadLabel(payload), from, to))
+	}
+	f, hit := e.msgFaults[k]
+	e.mu.Unlock()
+	if !hit {
+		return false
+	}
+	switch f.Mode {
+	case ModeDrop:
+		return true
+	case ModeCrash:
+		e.crashAndRecover(from)
+		return true // the datagram dies with its sender
+	case ModePartition:
+		window := time.Duration(f.WindowMs) * time.Millisecond
+		if window <= 0 {
+			window = defaultPartitionWindow
+		}
+		a, b := from, to
+		e.k.After(0, func() { e.c.Network().SetPartition(a, b, true) })
+		e.k.After(window, func() { e.c.Network().SetPartition(a, b, false) })
+		return false // the cut catches it at delivery time
+	}
+	return false
+}
+
+func payloadLabel(p any) string {
+	if m, ok := p.(*wire.Msg); ok {
+		return m.Kind.String()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+// crashAndRecover schedules an immediate crash of site and its
+// restart recoverDelay later. Safe to call from any hook: both the
+// crash and the recovery run on their own kernel threads.
+func (e *engine) crashAndRecover(site camelot.SiteID) {
+	e.k.After(0, func() { e.c.Node(site).Crash() })
+	e.k.After(recoverDelay, func() {
+		if err := e.c.Node(site).Recover(); err != nil {
+			e.mu.Lock()
+			e.recovery = append(e.recovery, fmt.Sprintf("recovery: site %d: %v", site, err))
+			e.mu.Unlock()
+		}
+	})
+}
+
+// workload pushes s.Txns distributed update transactions through site
+// 1, each writing one key at every site, with a checkpoint at a
+// rotating site every fourth transaction. Outcomes land in txns.
+func (e *engine) workload(txns []oracle.Txn) {
+	for i := range txns {
+		key := fmt.Sprintf("k%d", i)
+		txns[i] = oracle.Txn{Key: key, Outcome: oracle.Skipped}
+
+		// The coordinator may be mid-restart; retry Begin through it.
+		var tx *camelot.Tx
+		for attempt := 0; attempt < 40; attempt++ {
+			var err error
+			if tx, err = e.c.Node(1).Begin(); err == nil {
+				break
+			}
+			tx = nil
+			e.k.Sleep(100 * time.Millisecond)
+		}
+		if tx == nil {
+			continue
+		}
+		txns[i].Family = tx.ID().Family
+
+		ok := true
+		for _, id := range e.sites {
+			if err := tx.Write(srvName(id), key, []byte("v")); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			tx.Abort() //nolint:errcheck // outcome recorded as aborted either way
+			txns[i].Outcome = oracle.Aborted
+		} else {
+			err := tx.CommitWith(camelot.Options{NonBlocking: e.sched.NonBlocking})
+			switch {
+			case err == nil:
+				txns[i].Outcome = oracle.Committed
+			case errors.Is(err, camelot.ErrAborted):
+				txns[i].Outcome = oracle.Aborted
+			default:
+				txns[i].Outcome = oracle.Unknown
+			}
+		}
+
+		if (i+1)%4 == 0 {
+			ck := e.sites[(i/4)%len(e.sites)]
+			if !e.c.Node(ck).Crashed() {
+				e.c.Node(ck).Checkpoint() //nolint:errcheck // injected ckpt faults surface here
+			}
+		}
+		e.k.Sleep(20 * time.Millisecond)
+	}
+}
+
+// verify heals the world, lets the protocol quiesce, and runs the
+// oracle twice: once on the settled cluster, and once more after
+// bouncing every site — updates that survive the second pass were
+// genuinely durable, not just cached in volatile state.
+func (e *engine) verify(txns []oracle.Txn) []string {
+	// Heal: no more injections, no loss, no cuts, everyone up.
+	e.c.Network().SetInjector(nil)
+	for _, fs := range e.stores {
+		fs.Arm(nil)
+	}
+	e.c.Network().SetLossRate(0)
+	for i, a := range e.sites {
+		for _, b := range e.sites[i+1:] {
+			e.c.Network().SetPartition(a, b, false)
+		}
+	}
+	// Let pending crash/recover timers fire, then pick up stragglers.
+	e.k.Sleep(2 * time.Second)
+	for _, id := range e.sites {
+		if e.c.Node(id).Crashed() {
+			if err := e.c.Node(id).Recover(); err != nil {
+				e.mu.Lock()
+				e.recovery = append(e.recovery, fmt.Sprintf("recovery: site %d: %v", id, err))
+				e.mu.Unlock()
+			}
+		}
+	}
+	// Quiesce: resolution timers are ≤ 200 ms, so ten seconds is an
+	// eternity of retries.
+	e.k.Sleep(10 * time.Second)
+
+	ocfg := oracle.Config{Sites: e.sites, ServerOf: srvName}
+	var out []string
+	e.mu.Lock()
+	out = append(out, e.recovery...)
+	e.mu.Unlock()
+	for _, v := range oracle.Check(e.c, ocfg, txns) {
+		out = append(out, v.String())
+	}
+
+	// Durability pass: bounce everything, then re-check.
+	for _, id := range e.sites {
+		e.c.Node(id).Crash()
+	}
+	for _, id := range e.sites {
+		if err := e.c.Node(id).Recover(); err != nil {
+			out = append(out, fmt.Sprintf("durability: recovery: site %d: %v", id, err))
+		}
+	}
+	e.k.Sleep(5 * time.Second)
+	for _, v := range oracle.Check(e.c, ocfg, txns) {
+		out = append(out, "durability: "+v.String())
+	}
+	return out
+}
+
+// points assembles the pilot's enumerated injection points: every
+// stable-log block write (labeled with its record type), every
+// datagram send, every checkpoint truncation.
+func (e *engine) points() []Point {
+	var out []Point
+	for i, fs := range e.stores {
+		site := uint32(e.sites[i])
+		for k, label := range fs.Labels() {
+			out = append(out, Point{Class: ClassForce, Site: site, Index: k, Label: label})
+		}
+	}
+	e.mu.Lock()
+	labels := append([]string(nil), e.msgLabels...)
+	e.mu.Unlock()
+	for k, label := range labels {
+		out = append(out, Point{Class: ClassMsg, Index: k, Label: label})
+	}
+	for i, fs := range e.stores {
+		site := uint32(e.sites[i])
+		_, truncs := fs.Counts()
+		for k := 0; k < truncs; k++ {
+			out = append(out, Point{Class: ClassCkpt, Site: site, Index: k, Label: "truncate"})
+		}
+	}
+	return out
+}

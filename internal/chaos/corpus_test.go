@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// The regression corpus: each testdata/*.json schedule pins a fault
+// pattern that once exposed a real protocol bug (DESIGN.md §7). The
+// bugs are fixed, so every replay must now survive the oracle — a
+// regression would turn one of these green files red with an exact,
+// replayable repro attached.
+func TestCorpusReplaysClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("corpus has %d schedules, want at least the three §7 repros", len(files))
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := DecodeSchedule(b)
+			if err != nil {
+				t.Fatalf("corpus file does not decode: %v", err)
+			}
+			if len(s.Faults) == 0 || s.Note == "" {
+				t.Fatal("corpus schedules must carry faults and a provenance note")
+			}
+			r, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Failed() {
+				t.Errorf("regression: violations %v deadlock %q", r.Violations, r.Deadlock)
+			}
+			// Golden replay: the same schedule must produce the same
+			// result, byte for byte, or the repro files stop being
+			// replayable evidence.
+			again, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, _ := json.Marshal(r)
+			rb, _ := json.Marshal(again)
+			if !bytes.Equal(ra, rb) {
+				t.Errorf("replay nondeterministic:\n%s\nvs\n%s", ra, rb)
+			}
+		})
+	}
+}

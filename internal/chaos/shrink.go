@@ -1,0 +1,28 @@
+package chaos
+
+// Shrink reduces a failing schedule to a minimal one: it greedily
+// tries removing each fault and keeps any removal under which the
+// schedule still fails, repeating until no single removal preserves
+// the failure (a 1-minimal fault set, in delta-debugging terms).
+// failing must be deterministic — with a seeded simulation it is.
+// Shrink returns the minimal schedule and how many failing-calls it
+// spent.
+func Shrink(s Schedule, failing func(Schedule) bool) (Schedule, int) {
+	runs := 0
+	for {
+		shrunk := false
+		for i := 0; i < len(s.Faults); i++ {
+			cand := s
+			cand.Faults = append(append([]Fault{}, s.Faults[:i]...), s.Faults[i+1:]...)
+			runs++
+			if failing(cand) {
+				s = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return s, runs
+		}
+	}
+}

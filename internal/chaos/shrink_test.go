@@ -1,0 +1,64 @@
+package chaos
+
+import "testing"
+
+func sched(faults ...Fault) Schedule {
+	return Schedule{Version: Version, Seed: 1, Sites: 3, Txns: 4, Faults: faults}
+}
+
+func TestShrinkDropsIrrelevantFaults(t *testing.T) {
+	essential := Fault{Class: ClassForce, Site: 1, Index: 5, Mode: ModeCrash}
+	noise := []Fault{
+		{Class: ClassMsg, Index: 10, Mode: ModeDrop},
+		{Class: ClassMsg, Index: 20, Mode: ModeDrop},
+		{Class: ClassCkpt, Site: 2, Index: 0, Mode: ModeCrash},
+	}
+	s := sched(noise[0], essential, noise[1], noise[2])
+	// The synthetic predicate: failing iff the essential fault is in.
+	failing := func(c Schedule) bool {
+		for _, f := range c.Faults {
+			if f == essential {
+				return true
+			}
+		}
+		return false
+	}
+	min, runs := Shrink(s, failing)
+	if len(min.Faults) != 1 || min.Faults[0] != essential {
+		t.Fatalf("shrunk to %v, want just %v", min.Faults, essential)
+	}
+	if runs == 0 {
+		t.Fatal("shrink reported zero predicate runs")
+	}
+}
+
+func TestShrinkNeedsPair(t *testing.T) {
+	a := Fault{Class: ClassMsg, Index: 3, Mode: ModeDrop}
+	b := Fault{Class: ClassMsg, Index: 9, Mode: ModeDrop}
+	noise := Fault{Class: ClassMsg, Index: 30, Mode: ModeDrop}
+	failing := func(c Schedule) bool {
+		hasA, hasB := false, false
+		for _, f := range c.Faults {
+			hasA = hasA || f == a
+			hasB = hasB || f == b
+		}
+		return hasA && hasB
+	}
+	min, _ := Shrink(sched(noise, a, noise, b), failing)
+	if len(min.Faults) != 2 {
+		t.Fatalf("shrunk to %v, want the {a,b} pair", min.Faults)
+	}
+}
+
+func TestShrinkKeepsFailingInvariant(t *testing.T) {
+	// Whatever Shrink returns must itself satisfy the predicate.
+	a := Fault{Class: ClassForce, Site: 2, Index: 1, Mode: ModeTorn}
+	failing := func(c Schedule) bool { return len(c.Faults) >= 1 }
+	min, _ := Shrink(sched(a, a, a), failing)
+	if !failing(min) {
+		t.Fatal("shrunk schedule no longer fails")
+	}
+	if len(min.Faults) != 1 {
+		t.Fatalf("shrunk to %d faults, want 1", len(min.Faults))
+	}
+}

@@ -334,6 +334,17 @@ func (m *Manager) Stats() Stats {
 // QueueDepth reports requests waiting for a pool thread.
 func (m *Manager) QueueDepth() int { return m.queue.Len() }
 
+// OutcomeOf reports this site's durable knowledge of family f's fate:
+// the resolved-outcome memory, falling back to the checkpoint-image
+// backstop for families truncated from RAM. OutcomeUnknown means the
+// site never resolved the family — under presumed abort that reads as
+// abort, and it is never contradictory evidence. The chaos oracle uses
+// this to assert that no two sites ever hold definite, opposite
+// outcomes for the same family.
+func (m *Manager) OutcomeOf(f tid.FamilyID) wire.Outcome {
+	return m.resolvedOutcome(f)
+}
+
 // Close shuts the manager down as a crash would: pending work is
 // abandoned and callers get ErrClosed/aborted outcomes where a thread
 // is still around to deliver them.

@@ -52,7 +52,11 @@ func (m *Manager) nbBeginCommit(f *family) {
 			return
 		}
 		if err != nil {
-			m.abortFamily(f)
+			// Fail-stopped log, site going down. If the prepare record
+			// is durable, recovery resumes this coordinator and the
+			// still-live subordinates may vote yes and commit — so the
+			// outcome is undetermined, not abort. Leave the family
+			// unresolved; Close reports it undetermined.
 			return
 		}
 	}
@@ -151,7 +155,9 @@ func (m *Manager) nbBeginReplication(f *family) {
 		return
 	}
 	if err != nil {
-		m.nbDecideAbort(f)
+		// Fail-stopped log, site going down. A durable replication
+		// record commits this transaction at recovery, so deciding
+		// abort here would contradict it. Leave the family unresolved.
 		return
 	}
 	f.nbState = wire.NBReplicated

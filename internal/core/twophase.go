@@ -143,7 +143,13 @@ func (m *Manager) commitLocal(f *family) {
 		return
 	}
 	if err != nil {
-		m.abortFamily(f)
+		// The force failed, which means the log has fail-stopped and
+		// this site is going down. The commit record may already be
+		// durable — the write happens before the acknowledgement — so
+		// presuming abort here would lie to a client about a
+		// transaction recovery will replay as committed. Leave the
+		// family unresolved: Close reports it undetermined and
+		// recovery finishes the decision.
 		return
 	}
 	f.ph = phCommitted
@@ -212,7 +218,9 @@ func (m *Manager) decideCommit2PC(f *family) {
 		return
 	}
 	if err != nil {
-		m.abortFamily(f)
+		// Fail-stopped log, site going down. The commit record may
+		// already be durable, so the outcome is genuinely undetermined
+		// — do not presume abort (see commitLocal).
 		return
 	}
 	f.ph = phCommitted

@@ -22,6 +22,8 @@ var deterministicPkgs = map[string]bool{
 	"camelot/internal/wal":       true,
 	"camelot/internal/transport": true,
 	"camelot/internal/trace":     true,
+	"camelot/internal/chaos":     true,
+	"camelot/internal/oracle":    true,
 }
 
 // InScope reports whether the analyzer applies to the package. The

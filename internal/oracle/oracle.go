@@ -1,0 +1,216 @@
+// Package oracle checks the recovery invariants of a Camelot cluster
+// after a faulted run. The chaos explorer (internal/chaos) injects a
+// fault schedule, heals the world, and then asks the oracle whether
+// the cluster honored transactional semantics anyway:
+//
+//   - Atomicity: every transaction's updates are present at all of
+//     the sites it wrote or at none of them.
+//   - Client view: an outcome reported to the client (commit, abort)
+//     agrees with what the sites hold; an unknown outcome — the
+//     coordinator died with the call in flight — may have gone either
+//     way, but never partially.
+//   - Outcome agreement: no two transaction managers hold
+//     contradictory resolved outcomes (one says commit, another says
+//     abort) for the same transaction family.
+//   - Liveness: every site can begin, write, and abort a fresh probe
+//     transaction — no leaked locks, no wedged manager.
+//
+// The oracle must be invoked from a cluster thread (it runs probe
+// transactions), after faults are healed and the protocol has been
+// given time to quiesce. Durability is checked by the caller running
+// Check, bouncing every site, and running Check again: updates that
+// survive that second pass were genuinely on stable storage.
+package oracle
+
+import (
+	"fmt"
+
+	"camelot/camelot"
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// Outcome is the client's view of one workload transaction.
+type Outcome int
+
+// Client-observed outcomes.
+const (
+	// Unknown means the commit call returned an undetermined error —
+	// typically the coordinator crashed with the call in flight.
+	Unknown Outcome = iota
+	// Committed means Commit returned success.
+	Committed
+	// Aborted means the transaction ended in a clean abort.
+	Aborted
+	// Skipped means the workload never reached commit for this
+	// transaction (e.g. Begin failed because the node was down); the
+	// oracle only requires that its key is absent or the write ended
+	// all-or-none.
+	Skipped
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	case Skipped:
+		return "skipped"
+	default:
+		return "unknown"
+	}
+}
+
+// Txn describes one workload transaction for the oracle.
+type Txn struct {
+	// Key is the key the transaction wrote at every site.
+	Key string
+	// Family identifies the transaction; zero when the workload never
+	// got far enough to have one (Skipped before Begin succeeded).
+	Family tid.FamilyID
+	// Outcome is what the client observed.
+	Outcome Outcome
+}
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Rule names the invariant: "atomicity", "client-view",
+	// "agreement", or "liveness".
+	Rule string
+	// Txn is the workload index of the offending transaction, or -1
+	// for cluster-wide violations.
+	Txn int
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String formats the violation for reports.
+func (v Violation) String() string {
+	if v.Txn >= 0 {
+		return fmt.Sprintf("%s: txn %d: %s", v.Rule, v.Txn, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Rule, v.Detail)
+}
+
+// Config tells the oracle how the workload laid out the cluster.
+type Config struct {
+	// Sites lists every site id, in order.
+	Sites []camelot.SiteID
+	// ServerOf maps a site to the name of its data server.
+	ServerOf func(camelot.SiteID) string
+}
+
+// Check runs every invariant against the quiesced cluster and returns
+// the violations found (nil when the run was clean).
+func Check(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
+	var out []Violation
+	out = append(out, checkPresence(c, cfg, txns)...)
+	out = append(out, checkAgreement(c, cfg, txns)...)
+	out = append(out, checkLiveness(c, cfg)...)
+	return out
+}
+
+// checkPresence verifies atomicity and the client's view: each
+// transaction's key is present everywhere or nowhere, and the count
+// matches the outcome the client observed.
+func checkPresence(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
+	var out []Violation
+	for i, tx := range txns {
+		present := 0
+		for _, id := range cfg.Sites {
+			srv := c.Node(id).Server(cfg.ServerOf(id))
+			if srv == nil {
+				continue
+			}
+			if _, ok := srv.Peek(tx.Key); ok {
+				present++
+			}
+		}
+		all := len(cfg.Sites)
+		if present != 0 && present != all {
+			out = append(out, Violation{
+				Rule: "atomicity", Txn: i,
+				Detail: fmt.Sprintf("key %q present at %d/%d sites", tx.Key, present, all),
+			})
+			continue // the client-view check would only repeat the news
+		}
+		switch tx.Outcome {
+		case Committed:
+			if present != all {
+				out = append(out, Violation{
+					Rule: "client-view", Txn: i,
+					Detail: fmt.Sprintf("client saw COMMIT but key %q is at %d/%d sites", tx.Key, present, all),
+				})
+			}
+		case Aborted:
+			if present != 0 {
+				out = append(out, Violation{
+					Rule: "client-view", Txn: i,
+					Detail: fmt.Sprintf("client saw ABORT but key %q is at %d/%d sites", tx.Key, present, all),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkAgreement asks every site's transaction manager for its
+// resolved outcome of each family. Unknown answers are fine (a
+// subordinate may have forgotten an aborted family under presumed
+// abort); a definite commit at one site against a definite abort at
+// another is the split-brain the commitment protocols exist to
+// prevent.
+func checkAgreement(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
+	var out []Violation
+	for i, tx := range txns {
+		if tx.Family == 0 {
+			continue
+		}
+		commits, aborts := 0, 0
+		var detail string
+		for _, id := range cfg.Sites {
+			switch c.Node(id).TM().OutcomeOf(tx.Family) {
+			case wire.OutcomeCommit:
+				commits++
+				detail += fmt.Sprintf(" site%d=commit", id)
+			case wire.OutcomeAbort:
+				aborts++
+				detail += fmt.Sprintf(" site%d=abort", id)
+			}
+		}
+		if commits > 0 && aborts > 0 {
+			out = append(out, Violation{
+				Rule: "agreement", Txn: i,
+				Detail: fmt.Sprintf("sites disagree on family %d:%s", tx.Family, detail),
+			})
+		}
+	}
+	return out
+}
+
+// checkLiveness probes each site with a fresh transaction: begin,
+// write a probe key at the local server, abort. A leaked lock or a
+// wedged manager turns the probe into an error.
+func checkLiveness(c *camelot.Cluster, cfg Config) []Violation {
+	var out []Violation
+	for _, id := range cfg.Sites {
+		tx, err := c.Node(id).Begin()
+		if err != nil {
+			out = append(out, Violation{
+				Rule: "liveness", Txn: -1,
+				Detail: fmt.Sprintf("site %d cannot begin after quiesce: %v", id, err),
+			})
+			continue
+		}
+		if err := tx.Write(cfg.ServerOf(id), "oracle-probe", []byte("x")); err != nil {
+			out = append(out, Violation{
+				Rule: "liveness", Txn: -1,
+				Detail: fmt.Sprintf("site %d: probe write blocked (leaked lock?): %v", id, err),
+			})
+		}
+		tx.Abort() //nolint:errcheck // probe cleanup; the write above is the check
+	}
+	return out
+}

@@ -241,4 +241,68 @@ func TestEmptyLog(t *testing.T) {
 	if len(a.Data) != 0 || len(a.InDoubt) != 0 || len(a.Resume) != 0 {
 		t.Fatalf("non-empty analysis of empty log: %+v", a)
 	}
+	if a.MaxLocalFamily != 0 {
+		t.Fatalf("MaxLocalFamily = %d on empty log", a.MaxLocalFamily)
+	}
+}
+
+func TestCheckpointOnlyLog(t *testing.T) {
+	// After a checkpoint truncates everything it absorbed, a crash can
+	// leave the log holding nothing but the checkpoint marker. Restart
+	// must come up clean: no redo, nothing in doubt, nothing to
+	// re-drive — the page image carries the state.
+	recs := []*wal.Record{{Type: wal.RecCheckpoint}}
+	a := Analyze(1, recs)
+	if len(a.Data) != 0 || len(a.InDoubt) != 0 || len(a.Resume) != 0 {
+		t.Fatalf("checkpoint-only log produced work: %+v", a)
+	}
+	if len(a.Committed)+len(a.Aborted) != 0 {
+		t.Fatalf("checkpoint-only log produced outcomes: %+v", a)
+	}
+}
+
+func TestLogEndingMidFamilyActive(t *testing.T) {
+	// The site died while a family was still active: updates logged,
+	// no prepare, no outcome. Presumed abort discards the updates —
+	// but the family counter must still advance past the dead family,
+	// or its identifier could be reused.
+	recs := []*wal.Record{
+		upd(top(7), "a", "", "1"),
+		upd(top(7), "b", "", "2"),
+	}
+	a := Analyze(1, recs)
+	if len(a.Data) != 0 {
+		t.Fatalf("presumed-aborted updates redone: %v", a.Data)
+	}
+	if len(a.InDoubt) != 0 {
+		t.Fatalf("active (unprepared) family in doubt: %+v", a.InDoubt)
+	}
+	if a.MaxLocalFamily != 7 {
+		t.Fatalf("MaxLocalFamily = %d, want 7", a.MaxLocalFamily)
+	}
+}
+
+func TestLogEndingMidFamilyPrepared(t *testing.T) {
+	// The site died between its prepare force and the outcome: the
+	// log ends mid-protocol. The family is in doubt, its updates ride
+	// along for re-application under re-acquired locks, and nothing is
+	// redone into committed state.
+	recs := []*wal.Record{
+		upd(top(3), "a", "", "1"),
+		{Type: wal.RecPrepare, TID: top(3), Coordinator: 9},
+	}
+	a := Analyze(1, recs)
+	if len(a.Data) != 0 {
+		t.Fatalf("in-doubt updates redone as committed: %v", a.Data)
+	}
+	if len(a.InDoubt) != 1 {
+		t.Fatalf("InDoubt = %+v, want exactly the prepared family", a.InDoubt)
+	}
+	d := a.InDoubt[0]
+	if d.TID != top(3) || d.Coordinator != 9 || d.NonBlocking {
+		t.Fatalf("InDoubt = %+v", d)
+	}
+	if len(d.Updates["srv"]) != 1 || d.Updates["srv"][0].Key != "a" {
+		t.Fatalf("in-doubt updates = %+v", d.Updates)
+	}
 }

@@ -52,6 +52,9 @@ const (
 	EvRecover           // site recovered
 	EvThreadSwitch      // simulation kernel resumed a thread
 	EvTimerFire         // simulation kernel fired a timer
+	EvFaultInject       // a network or storage fault was switched on
+	EvFaultClear        // a previously injected fault was switched off
+	EvCheckpoint        // disk manager materialized the log into the image
 )
 
 var kindNames = map[Kind]string{
@@ -61,6 +64,8 @@ var kindNames = map[Kind]string{
 	EvPhaseBegin: "PhaseBegin", EvPhaseEnd: "PhaseEnd",
 	EvLockDrop: "LockDrop", EvCrash: "Crash", EvRecover: "Recover",
 	EvThreadSwitch: "ThreadSwitch", EvTimerFire: "TimerFire",
+	EvFaultInject: "FaultInject", EvFaultClear: "FaultClear",
+	EvCheckpoint: "Checkpoint",
 }
 
 // String returns the event kind's name.
@@ -98,6 +103,10 @@ func (e Event) String() string {
 		s += fmt.Sprintf("→%s", e.Peer)
 	case EvMsgRecv:
 		s += fmt.Sprintf("←%s", e.Peer)
+	case EvFaultInject, EvFaultClear:
+		if e.Peer != 0 {
+			s += fmt.Sprintf("↔%s", e.Peer)
+		}
 	}
 	if e.Info != "" {
 		s += " " + e.Info
@@ -417,6 +426,45 @@ func (c *Collector) LockWait(site tid.SiteID, class string) {
 		c.lockWaits[site] = m
 	}
 	m[class]++
+}
+
+// FaultInject records a fault being switched on: a datagram-loss rate,
+// a site marked down, a cut link, or a chaos-schedule injection. Site
+// and peer locate the fault (both zero for cluster-wide faults); desc
+// names it ("loss=0.30", "cut", "drop wire.Msg"). Together with
+// FaultClear this makes failing traces self-describing: the timeline
+// itself records which faults were active when.
+func (c *Collector) FaultInject(site, peer tid.SiteID, desc string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvFaultInject, Site: site, Peer: peer, Info: desc})
+}
+
+// FaultClear records a previously injected fault being switched off.
+func (c *Collector) FaultClear(site, peer tid.SiteID, desc string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvFaultClear, Site: site, Peer: peer, Info: desc})
+}
+
+// Checkpoint records the disk manager materializing the durable log
+// into the page image; records is how many log records the truncation
+// dropped. Checkpoint boundaries matter to fault analysis — a crash
+// just after one recovers from the image, a crash during one must
+// tolerate the image/log overlap — so the timeline marks them.
+func (c *Collector) Checkpoint(site tid.SiteID, records int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvCheckpoint, Site: site, Info: fmt.Sprintf("cut=%d", records)})
 }
 
 // Crash records a site crash.

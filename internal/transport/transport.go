@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"fmt"
 	"time"
 
 	"camelot/internal/rt"
@@ -65,8 +66,22 @@ type Config struct {
 	LossRate float64
 }
 
+// Injector is an optional per-datagram fault hook, consulted at send
+// time for every datagram (unreliable and reliable alike). Returning
+// true drops the datagram. The injector runs with the network lock
+// held: it must not call back into the Network or block — schedule
+// side effects (crashes, partitions) through rt.Runtime.After instead.
+// The chaos explorer uses this hook to count send points and to drop
+// exactly the k-th datagram of a fault schedule.
+type Injector func(from, to tid.SiteID, payload any) bool
+
 // Network connects sites. It is safe for concurrent use from many
-// runtime threads.
+// runtime threads, and its fault switches (SetLossRate, SetDown,
+// SetPartition, SetInjector) may be toggled at any moment mid-run:
+// every datagram re-checks the current fault state at send and again
+// at delivery time, and each toggle is recorded as a FaultInject or
+// FaultClear trace event so a failing trace describes its own fault
+// history.
 type Network struct {
 	r   rt.Runtime
 	cfg Config
@@ -77,6 +92,7 @@ type Network struct {
 	down      map[tid.SiteID]bool
 	cut       map[[2]tid.SiteID]bool
 	nextFree  map[tid.SiteID]rt.Time
+	injector  Injector
 	sent      int
 	delivered int
 	dropped   int
@@ -102,12 +118,17 @@ func NewNetwork(r rt.Runtime, cfg Config) *Network {
 func (n *Network) SetTrace(tr *trace.Collector) { n.tr = tr }
 
 // Register installs the datagram handler for site, replacing any
-// previous one (a recovered site re-registers).
+// previous one (a recovered site re-registers). Registering clears the
+// site's crashed state, with the matching FaultClear event if it was
+// down.
 func (n *Network) Register(site tid.SiteID, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[site] = h
-	n.down[site] = false
+	if n.down[site] {
+		n.down[site] = false
+		n.tr.FaultClear(site, 0, "down")
+	}
 }
 
 // Send queues one datagram. Delivery is asynchronous and may never
@@ -153,6 +174,12 @@ func (n *Network) SendReliable(from, to tid.SiteID, payload any, latency time.Du
 	defer n.mu.Unlock()
 	n.sent++
 	n.tr.MsgSend(from, to, payload)
+	if n.injector != nil && n.injector(from, to, payload) {
+		n.dropped++
+		n.tr.FaultInject(from, to, "drop")
+		n.tr.MsgDrop(from, to, payload)
+		return
+	}
 	if n.down[from] {
 		n.dropped++
 		n.tr.MsgDrop(from, to, payload)
@@ -176,27 +203,67 @@ func (n *Network) SendReliable(from, to tid.SiteID, payload any, latency time.Du
 	})
 }
 
-// SetLossRate changes the datagram loss probability at runtime.
+// SetLossRate changes the datagram loss probability at runtime. The
+// toggle is recorded as FaultInject (p > 0) or FaultClear (p == 0),
+// but only when the rate actually changes, so redundant clears do not
+// pollute the timeline.
 func (n *Network) SetLossRate(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if p == n.cfg.LossRate {
+		return
+	}
 	n.cfg.LossRate = p
+	if p > 0 {
+		n.tr.FaultInject(0, 0, fmt.Sprintf("loss=%.2f", p))
+	} else {
+		n.tr.FaultClear(0, 0, "loss")
+	}
 }
 
 // SetDown marks site crashed (true) or recovered (false). Datagrams
-// to or from a crashed site vanish.
+// to or from a crashed site vanish, including datagrams already in
+// flight (delivery re-checks). Each effective toggle is recorded as a
+// FaultInject/FaultClear event.
 func (n *Network) SetDown(site tid.SiteID, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.down[site] == down {
+		return
+	}
 	n.down[site] = down
+	if down {
+		n.tr.FaultInject(site, 0, "down")
+	} else {
+		n.tr.FaultClear(site, 0, "down")
+	}
 }
 
 // SetPartition cuts (true) or heals (false) the link between a and b,
-// in both directions.
+// in both directions. Datagrams in flight across the link when it is
+// cut are lost (delivery re-checks). Each effective toggle is recorded
+// as a FaultInject/FaultClear event.
 func (n *Network) SetPartition(a, b tid.SiteID, broken bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.cut[linkKey(a, b)] = broken
+	key := linkKey(a, b)
+	if n.cut[key] == broken {
+		return
+	}
+	n.cut[key] = broken
+	if broken {
+		n.tr.FaultInject(a, b, "cut")
+	} else {
+		n.tr.FaultClear(a, b, "cut")
+	}
+}
+
+// SetInjector installs (or, with nil, removes) the per-datagram fault
+// hook. Safe to toggle mid-run.
+func (n *Network) SetInjector(f Injector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.injector = f
 }
 
 // Stats reports datagrams sent, delivered, and dropped.
@@ -234,6 +301,12 @@ func (n *Network) jitterLocked() time.Duration {
 func (n *Network) deliverLocked(d Datagram, leave rt.Time) {
 	n.sent++
 	n.tr.MsgSend(d.From, d.To, d.Payload)
+	if n.injector != nil && n.injector(d.From, d.To, d.Payload) {
+		n.dropped++
+		n.tr.FaultInject(d.From, d.To, "drop")
+		n.tr.MsgDrop(d.From, d.To, d.Payload)
+		return
+	}
 	if n.down[d.From] {
 		n.dropped++
 		n.tr.MsgDrop(d.From, d.To, d.Payload)

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"camelot/internal/rt"
@@ -172,18 +173,38 @@ func (l *Log) Appends() int {
 
 // Records reads back every durable record, in LSN order. Buffered
 // (never-forced) records are absent — exactly what a crash loses.
+//
+// A block that fails its CRC is classified by position. The *final*
+// block is a torn tail: the write was in flight when the site died, so
+// its record was never acknowledged and recovery may safely truncate
+// it (the store is repaired in place, so later appends never sit
+// behind the damage). A corrupt block with good blocks *after* it
+// cannot be a torn write — an append-only log never writes behind its
+// tail — so it is silent media corruption of acknowledged history, and
+// recovery must fail loudly with ErrCorrupt rather than quietly
+// dropping durable records.
 func (l *Log) Records() ([]*Record, error) {
 	blocks, err := l.store.Blocks()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Record, 0, len(blocks))
-	for _, b := range blocks {
-		rec, err := unmarshal(b)
-		if err != nil {
-			// A corrupt block ends recovery at the last good record,
-			// like a torn write at the log tail.
-			break
+	for i, b := range blocks {
+		rec, recErr := unmarshal(b)
+		if recErr != nil {
+			if i == len(blocks)-1 {
+				// Clean torn tail: truncate and recover.
+				if err := l.store.DropTail(1); err != nil {
+					return nil, fmt.Errorf("wal: dropping torn tail: %w", err)
+				}
+				return out, nil
+			}
+			lastGood := uint64(0)
+			if len(out) > 0 {
+				lastGood = out[len(out)-1].LSN
+			}
+			return nil, fmt.Errorf("%w: mid-log corruption in block %d (last good LSN %d): %v",
+				ErrCorrupt, i, lastGood, recErr)
 		}
 		out = append(out, rec)
 	}

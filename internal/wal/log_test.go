@@ -1,10 +1,12 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -308,22 +310,99 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	}
 }
 
-func TestRecordsStopsAtCorruption(t *testing.T) {
-	store := NewMemStore()
-	store.Append(marshal(&Record{LSN: 1, Type: RecCommit, TID: testTID(1)}))
-	store.Append([]byte{1, 2, 3}) // torn write
-	store.Append(marshal(&Record{LSN: 3, Type: RecCommit, TID: testTID(3)}))
+// readRecords opens a log over store inside a kernel and calls
+// Records once.
+func readRecords(store Store) ([]*Record, error) {
+	var recs []*Record
+	var err error
 	k := sim.New(1)
 	k.Go("main", func() {
 		l := Open(k, store, Config{})
 		defer l.Close()
-		recs, err := l.Records()
-		if err != nil {
-			t.Errorf("Records: %v", err)
-		}
-		if len(recs) != 1 {
-			t.Errorf("got %d records past a torn block, want 1", len(recs))
-		}
+		recs, err = l.Records()
 	})
 	k.Run()
+	return recs, err
+}
+
+func TestRecordsTruncatesTornTail(t *testing.T) {
+	// A bad *final* block is a torn write: the record was never
+	// acknowledged, so recovery truncates it — and repairs the store,
+	// so later appends never sit behind the damage.
+	store := NewMemStore()
+	store.Append(marshal(&Record{LSN: 1, Type: RecCommit, TID: testTID(1)}))
+	full := marshal(&Record{LSN: 2, Type: RecCommit, TID: testTID(2)})
+	store.Append(full[:len(full)/2]) // torn tail
+	recs, err := readRecords(store)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("got %d records, want the 1 good one", len(recs))
+	}
+	if store.Len() != 1 {
+		t.Errorf("store holds %d blocks after repair, want 1", store.Len())
+	}
+	// The repaired store accepts appends and reads back cleanly.
+	store.Append(marshal(&Record{LSN: 2, Type: RecAbort, TID: testTID(3)}))
+	recs, err = readRecords(store)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("after repair+append: %d records, err %v", len(recs), err)
+	}
+}
+
+func TestRecordsBitFlippedTailTruncated(t *testing.T) {
+	// A final block whose CRC fails (one flipped bit) is
+	// indistinguishable from a torn write and gets the same repair.
+	store := NewMemStore()
+	store.Append(marshal(&Record{LSN: 1, Type: RecCommit, TID: testTID(1)}))
+	bad := marshal(&Record{LSN: 2, Type: RecCommit, TID: testTID(2)})
+	bad[len(bad)-1] ^= 0x01 // flip a bit inside the CRC itself
+	store.Append(bad)
+	recs, err := readRecords(store)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if store.Len() != 1 {
+		t.Errorf("store holds %d blocks after repair, want 1", store.Len())
+	}
+}
+
+func TestRecordsFailsOnMidLogCorruption(t *testing.T) {
+	// A corrupt block with good blocks after it cannot be a torn
+	// write — it is silent corruption of acknowledged history, and
+	// recovery must refuse rather than quietly drop durable records.
+	store := NewMemStore()
+	store.Append(marshal(&Record{LSN: 1, Type: RecCommit, TID: testTID(1)}))
+	store.Append([]byte{1, 2, 3}) // damaged, but not the tail
+	store.Append(marshal(&Record{LSN: 3, Type: RecCommit, TID: testTID(3)}))
+	_, err := readRecords(store)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Records err = %v, want ErrCorrupt", err)
+	}
+	// The error names the last good LSN so an operator knows what
+	// survives.
+	if !strings.Contains(err.Error(), "last good LSN 1") {
+		t.Errorf("error %q does not name the last good LSN", err)
+	}
+	if store.Len() != 3 {
+		t.Errorf("store modified on refusal: %d blocks, want 3", store.Len())
+	}
+}
+
+func TestRecordsFailsOnBitFlipMidLog(t *testing.T) {
+	// Same refusal when the damage is a single flipped bit in an
+	// interior block's CRC.
+	store := NewMemStore()
+	bad := marshal(&Record{LSN: 1, Type: RecCommit, TID: testTID(1)})
+	bad[len(bad)-1] ^= 0x01
+	store.Append(bad)
+	store.Append(marshal(&Record{LSN: 2, Type: RecCommit, TID: testTID(2)}))
+	_, err := readRecords(store)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Records err = %v, want ErrCorrupt", err)
+	}
 }

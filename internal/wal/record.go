@@ -160,6 +160,18 @@ func unmarshal(b []byte) (*Record, error) {
 	return r, nil
 }
 
+// BlockType reports the record type encoded in a marshaled log block
+// ("COMMIT", "UPDATE", ...), or "?" when the block does not decode.
+// Fault-injection tooling uses it to label log-write injection points
+// without re-implementing the codec.
+func BlockType(b []byte) string {
+	r, err := unmarshal(b)
+	if err != nil {
+		return "?"
+	}
+	return r.Type.String()
+}
+
 func appendString(b []byte, s string) []byte { return appendBytes(b, []byte(s)) }
 
 func appendBytes(b, p []byte) []byte {

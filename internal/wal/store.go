@@ -19,6 +19,10 @@ type Store interface {
 	// Truncate drops the first n blocks — the prefix a checkpoint has
 	// absorbed into the page image.
 	Truncate(n int) error
+	// DropTail discards the last n blocks — recovery's repair of a
+	// torn tail, so that records appended after the repair never sit
+	// behind a corrupt block.
+	DropTail(n int) error
 }
 
 // MemStore is an in-memory Store used by simulations: durability is
@@ -66,6 +70,20 @@ func (s *MemStore) Truncate(n int) error {
 		n = len(s.blocks)
 	}
 	s.blocks = append([][]byte(nil), s.blocks[n:]...)
+	return nil
+}
+
+// DropTail discards the last n blocks.
+func (s *MemStore) DropTail(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	if n > len(s.blocks) {
+		n = len(s.blocks)
+	}
+	s.blocks = s.blocks[:len(s.blocks)-n]
 	return nil
 }
 
@@ -150,6 +168,27 @@ func (s *FileStore) Truncate(n int) error {
 	if n > len(blocks) {
 		n = len(blocks)
 	}
+	return s.rewrite(blocks[n:])
+}
+
+// DropTail discards the last n blocks by rewriting the file — torn
+// tails are a single block, so the rewrite is recovery-time only.
+func (s *FileStore) DropTail(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	blocks, err := s.Blocks()
+	if err != nil {
+		return err
+	}
+	if n > len(blocks) {
+		n = len(blocks)
+	}
+	return s.rewrite(blocks[:len(blocks)-n])
+}
+
+// rewrite replaces the file's contents with the given blocks.
+func (s *FileStore) rewrite(blocks [][]byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.f.Truncate(0); err != nil {
@@ -158,7 +197,7 @@ func (s *FileStore) Truncate(n int) error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: truncate seek: %w", err)
 	}
-	for _, b := range blocks[n:] {
+	for _, b := range blocks {
 		var hdr [4]byte
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
 		if _, err := s.f.Write(hdr[:]); err != nil {
