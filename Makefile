@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race torture chaos golden
+.PHONY: all build test check fmt vet lint race torture chaos golden bench cluster
 
 all: build
 
@@ -55,6 +55,19 @@ chaos:
 # a nondeterministic timeline into the repository.
 golden: lint
 	$(GO) test ./cmd/camelot-trace -update
+
+# Machine-readable benchmark report for the performance trajectory:
+# every simulated table plus the host-dependent real-runtime (R1) and
+# real-network (R2/R3) experiments. CI archives the file per commit.
+bench:
+	$(GO) run ./cmd/camelot-bench -quick -json -realtime -realnet > BENCH_5.json
+	@echo "wrote BENCH_5.json"
+
+# A real multi-process cluster on loopback: spawn camelot-node
+# daemons, run the seeded distributed workload with a mid-run SIGKILL
+# and restart, and check the recovery oracle over the control plane.
+cluster:
+	$(GO) run ./cmd/camelot-cluster -nodes 3 -txns 200 -seed 1
 
 check: fmt vet build lint race torture chaos
 	@echo "check: OK"

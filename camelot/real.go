@@ -1,0 +1,239 @@
+package camelot
+
+import (
+	"fmt"
+	"time"
+
+	"camelot/internal/core"
+	"camelot/internal/det"
+	"camelot/internal/diskman"
+	"camelot/internal/rt"
+	"camelot/internal/server"
+	"camelot/internal/tid"
+	"camelot/internal/transport"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// RealConfig configures one real site: a transaction manager and data
+// servers on the ordinary Go runtime, peers reached over UDP, and the
+// log on a real file. Unlike the simulated Cluster there is no cost
+// model — latency here is the actual machine's.
+type RealConfig struct {
+	// Site is this site's id; nonzero, unique across the deployment.
+	Site SiteID
+	// Listen is the UDP listen address, e.g. "127.0.0.1:0".
+	Listen string
+	// WALPath is the on-disk log file; created if absent, replayed by
+	// Recover if not.
+	WALPath string
+	// Servers names the data servers to run.
+	Servers []string
+	// Threads is the transaction-manager pool size.
+	Threads int
+	// GroupCommit enables log batching; FlushInterval bounds how long
+	// lazily written records stay volatile.
+	GroupCommit   bool
+	FlushInterval time.Duration
+	// LockTimeout bounds data-server lock waits.
+	LockTimeout time.Duration
+	// RetryInterval, InquireInterval, PromotionTimeout, and
+	// AckFlushInterval tune the transaction manager's timers. These
+	// mask real datagram loss, so keep them well above the network's
+	// round-trip time.
+	RetryInterval    time.Duration
+	InquireInterval  time.Duration
+	PromotionTimeout time.Duration
+	AckFlushInterval time.Duration
+	// Logf, if non-nil, receives diagnostics (unmaskable transport
+	// losses such as oversize messages).
+	Logf func(format string, args ...any)
+}
+
+// DefaultRealConfig returns loopback-friendly settings for site id:
+// short retry timers (loopback RTT is microseconds) and group commit.
+func DefaultRealConfig(id SiteID) RealConfig {
+	return RealConfig{
+		Site:             id,
+		Listen:           "127.0.0.1:0",
+		Servers:          []string{"store"},
+		Threads:          5,
+		GroupCommit:      true,
+		FlushInterval:    25 * time.Millisecond,
+		LockTimeout:      2 * time.Second,
+		RetryInterval:    50 * time.Millisecond,
+		InquireInterval:  50 * time.Millisecond,
+		PromotionTimeout: 200 * time.Millisecond,
+		AckFlushInterval: 10 * time.Millisecond,
+	}
+}
+
+// RealNode is one Camelot site as a real process component: the same
+// transaction manager, data servers, write-ahead log, and recovery
+// process as a simulated Node, but on wall-clock time with a UDP
+// transport and a file-backed log. cmd/camelot-node wraps one in a
+// daemon; tests may also embed several in one process.
+type RealNode struct {
+	cfg     RealConfig
+	r       rt.Runtime
+	peer    *transport.UDPPeer
+	store   *wal.FileStore
+	pages   *diskman.PageStore
+	log     *wal.Log
+	tm      *core.Manager
+	servers map[string]*server.Server
+}
+
+// StartRealNode opens (or creates) the WAL at cfg.WALPath, binds the
+// UDP socket, and starts the site's processes. The caller must then
+// call Recover — even on a fresh log, where it is a no-op — before
+// serving traffic, and AddPeer for every other site as addresses
+// become known.
+func StartRealNode(cfg RealConfig) (*RealNode, error) {
+	if cfg.Site == 0 {
+		return nil, fmt.Errorf("camelot: site id 0 is reserved")
+	}
+	r := rt.Real()
+	store, err := wal.OpenFileStore(cfg.WALPath)
+	if err != nil {
+		return nil, fmt.Errorf("camelot: open wal: %w", err)
+	}
+	peer, err := transport.NewUDPPeer(cfg.Site, cfg.Listen)
+	if err != nil {
+		store.Close() //nolint:errcheck // surfacing the bind error
+		return nil, err
+	}
+	if cfg.Logf != nil {
+		peer.SetLogf(cfg.Logf)
+	}
+	n := &RealNode{
+		cfg:     cfg,
+		r:       r,
+		peer:    peer,
+		store:   store,
+		pages:   diskman.NewPageStore(),
+		servers: make(map[string]*server.Server),
+	}
+	n.log = wal.Open(r, store, wal.Config{
+		GroupCommit:   cfg.GroupCommit,
+		FlushInterval: cfg.FlushInterval,
+		Site:          cfg.Site,
+	})
+	n.tm = core.New(r, core.Config{
+		Site:             cfg.Site,
+		Threads:          cfg.Threads,
+		RetryInterval:    cfg.RetryInterval,
+		InquireInterval:  cfg.InquireInterval,
+		PromotionTimeout: cfg.PromotionTimeout,
+		AckFlushInterval: cfg.AckFlushInterval,
+	}, n.log, peer)
+	n.tm.SetResolvedBackstop(n.pages.Outcome)
+	for _, name := range cfg.Servers {
+		n.servers[name] = server.New(r, name, n.tm, n.log, server.Config{
+			LockTimeout: cfg.LockTimeout,
+		})
+	}
+	peer.SetHandler(func(d transport.Datagram) {
+		if msg, ok := d.Payload.(*wire.Msg); ok {
+			n.tm.Deliver(msg)
+		}
+	})
+	return n, nil
+}
+
+// Recover replays the on-disk log through the shared recovery process
+// (the same code path a simulated Node recovers through): committed
+// updates are redone into the servers, in-doubt updates reinstalled
+// under locks, and unresolved commitments resumed. Call once at
+// startup, before serving traffic.
+func (n *RealNode) Recover() error {
+	return recoverSite(n.cfg.Site, n.log, n.pages, n.tm, n.servers)
+}
+
+// ID returns the site id.
+func (n *RealNode) ID() SiteID { return n.cfg.Site }
+
+// Addr returns the bound UDP address, for exchanging with peers.
+func (n *RealNode) Addr() string { return n.peer.Addr() }
+
+// AddPeer registers (or replaces) the UDP address of another site.
+func (n *RealNode) AddPeer(id SiteID, addr string) error {
+	return n.peer.AddPeer(id, addr)
+}
+
+// Peer exposes the transport (for statistics).
+func (n *RealNode) Peer() *transport.UDPPeer { return n.peer }
+
+// TM exposes the transaction manager (for statistics).
+func (n *RealNode) TM() *core.Manager { return n.tm }
+
+// Server returns the named local data server, or nil.
+func (n *RealNode) Server(name string) *server.Server { return n.servers[name] }
+
+// Begin starts a top-level transaction coordinated by this site.
+func (n *RealNode) Begin() (TID, error) { return n.tm.Begin() }
+
+// Write writes key at the named local server under transaction t,
+// joining the server (and, transitively, this site's transaction
+// manager) to the family. A distributed transaction is built by
+// calling Write at each participant site for the same t, then
+// AddSites + Commit at the coordinator.
+func (n *RealNode) Write(srv string, t TID, key string, val []byte) error {
+	s := n.servers[srv]
+	if s == nil {
+		return fmt.Errorf("camelot: no server %q at site %d", srv, n.cfg.Site)
+	}
+	return s.Write(t, tid.TID{}, key, val)
+}
+
+// Read reads key at the named local server under transaction t.
+func (n *RealNode) Read(srv string, t TID, key string) ([]byte, error) {
+	s := n.servers[srv]
+	if s == nil {
+		return nil, fmt.Errorf("camelot: no server %q at site %d", srv, n.cfg.Site)
+	}
+	return s.Read(t, tid.TID{}, key)
+}
+
+// AddSites declares remote participant sites to the coordinator; call
+// at the coordinating site before Commit.
+func (n *RealNode) AddSites(t TID, sites []SiteID) { n.tm.AddSites(t, sites) }
+
+// Commit runs the commitment protocol selected by opts for t.
+func (n *RealNode) Commit(t TID, opts Options) (wire.Outcome, error) {
+	return n.tm.Commit(t, opts)
+}
+
+// Abort aborts t.
+func (n *RealNode) Abort(t TID) { n.tm.Abort(t) }
+
+// Peek returns the committed value of key at the named server without
+// a transaction (the oracle's presence check).
+func (n *RealNode) Peek(srv string, key string) ([]byte, bool) {
+	s := n.servers[srv]
+	if s == nil {
+		return nil, false
+	}
+	return s.Peek(key)
+}
+
+// OutcomeOf returns this site's resolved outcome for a family, or
+// OutcomeUnknown if it holds none.
+func (n *RealNode) OutcomeOf(f tid.FamilyID) wire.Outcome {
+	return n.tm.OutcomeOf(f)
+}
+
+// Close stops the site: transaction manager, log, and socket. The WAL
+// file survives for the next incarnation's Recover.
+func (n *RealNode) Close() error {
+	n.tm.Close()
+	n.log.Close()
+	err := n.store.Close()
+	if cerr := n.peer.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ServerNames returns the configured data-server names in order.
+func (n *RealNode) ServerNames() []string { return det.SortedKeys(n.servers) }

@@ -1,20 +1,31 @@
 package camelot
 
 import (
+	"camelot/internal/core"
 	"camelot/internal/det"
 	"camelot/internal/diskman"
 	"camelot/internal/server"
 	"camelot/internal/tid"
+	"camelot/internal/wal"
 )
 
 // recoverNode runs the recovery process against the node's freshly
-// reopened log: load the disk manager's page image, redo the
+// reopened log; see recoverSite.
+func recoverNode(n *Node) error {
+	return recoverSite(n.id, n.log, n.pages, n.tm, n.servers)
+}
+
+// recoverSite runs the recovery process for one site against its
+// freshly reopened log: load the disk manager's page image, redo the
 // retained log tail's committed updates on top of it, reinstall
 // in-doubt updates under re-acquired locks, and resume unresolved
 // commitments. An unreadable log (wal.ErrCorrupt) is returned to the
-// caller, which must keep the node down.
-func recoverNode(n *Node) error {
-	a, data, _, err := diskman.Recover(n.id, n.log, n.pages)
+// caller, which must keep the site down. Both incarnations of a site
+// — the simulated Node and the real-network RealNode — recover
+// through this one function, so the fault coverage the chaos explorer
+// builds up against it transfers to real deployments.
+func recoverSite(id tid.SiteID, log *wal.Log, pages *diskman.PageStore, tm *core.Manager, servers map[string]*server.Server) error {
+	a, data, _, err := diskman.Recover(id, log, pages)
 	if err != nil {
 		return err
 	}
@@ -22,7 +33,7 @@ func recoverNode(n *Node) error {
 	// Never reuse a previous incarnation's family identifiers. The
 	// margin covers transactions that left no log records (read-only
 	// or never-forced) in the crashed incarnation.
-	n.tm.SetFamilyFloor(a.MaxLocalFamily + 1000)
+	tm.SetFamilyFloor(a.MaxLocalFamily + 1000)
 
 	// Restore the resolved-outcome memory from the retained log tail
 	// only, so status inquiries and presumed-abort inquiries for
@@ -40,12 +51,12 @@ func recoverNode(n *Node) error {
 			aborted = append(aborted, t.Family)
 		}
 	}
-	n.tm.RestoreResolved(committed, aborted)
+	tm.RestoreResolved(committed, aborted)
 
 	// Install the recovered image (page base + redone tail) into each
 	// server.
 	for _, name := range det.SortedKeys(data) {
-		if srv := n.servers[name]; srv != nil {
+		if srv := servers[name]; srv != nil {
 			srv.Install(data[name])
 		}
 	}
@@ -55,7 +66,7 @@ func recoverNode(n *Node) error {
 	for _, d := range a.InDoubt {
 		var parts []server.Participant
 		for _, name := range det.SortedKeys(d.Updates) {
-			srv := n.servers[name]
+			srv := servers[name]
 			if srv == nil {
 				continue
 			}
@@ -67,18 +78,18 @@ func recoverNode(n *Node) error {
 			srv.Reacquire(d.TID, ups)
 			parts = append(parts, srv)
 		}
-		if d.NonBlocking && d.TID.Family.Origin() == n.id {
-			n.tm.RestoreNBCoordinator(d.TID, d.Sites, d.CommitQuorum, d.AbortQuorum,
+		if d.NonBlocking && d.TID.Family.Origin() == id {
+			tm.RestoreNBCoordinator(d.TID, d.Sites, d.CommitQuorum, d.AbortQuorum,
 				d.Replicated, d.Votes, parts)
 			continue
 		}
-		n.tm.RestorePreparedSub(d.TID, d.Coordinator, d.NonBlocking, d.Sites,
+		tm.RestorePreparedSub(d.TID, d.Coordinator, d.NonBlocking, d.Sites,
 			d.CommitQuorum, d.AbortQuorum, d.Replicated, d.Votes, parts)
 	}
 
 	// Re-drive decisions whose acknowledgements never all arrived.
 	for _, res := range a.Resume {
-		n.tm.RestoreCommittedCoordinator(res.TID, res.UpdateSubs, res.NonBlocking)
+		tm.RestoreCommittedCoordinator(res.TID, res.UpdateSubs, res.NonBlocking)
 	}
 	return nil
 }

@@ -5,16 +5,18 @@
 //
 // Usage:
 //
-//	camelot-bench [-quick] [-json] [-realtime] [-only <experiment>]
+//	camelot-bench [-quick] [-json] [-realtime] [-realnet] [-only <experiment>]
 //
 // Experiments: table1 table2 table3 figure1 figure2 figure3 figure4
-// figure5 rpc multicast contention ablations realtime
+// figure5 rpc multicast contention ablations realtime realnet
 //
 // -json emits the camelot-bench/v1 machine-readable report instead of
 // text, so successive commits can archive BENCH_*.json files and
 // track a performance trajectory. -realtime appends the host-
 // dependent multi-family scaling experiment (R1), which measures this
-// machine rather than the simulated testbed.
+// machine rather than the simulated testbed; -realnet appends the
+// real-network experiments (R2, R3), which run the commitment
+// protocols over actual loopback UDP sockets.
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "fewer trials; finishes in seconds")
 	jsonOut := flag.Bool("json", false, "emit the camelot-bench/v1 JSON report")
 	realtime := flag.Bool("realtime", false, "include the real-runtime scaling experiment (host-dependent)")
+	realnet := flag.Bool("realnet", false, "include the real-network UDP experiments (host-dependent)")
 	only := flag.String("only", "", "run a single experiment by name")
 	flag.Parse()
 
@@ -47,11 +50,34 @@ func main() {
 	scaling := func() *stats.Table {
 		return exp.RealtimeScaling([]int{1, 2, 4}, 8, 300*time.Millisecond)
 	}
+	realnetTxns := 200
+	if *quick {
+		realnetTxns = 40
+	}
+	realnetTables := func() []*stats.Table {
+		lat, err := exp.RealNetLatency(3, realnetTxns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "realnet latency:", err)
+			os.Exit(1)
+		}
+		tput, err := exp.RealNetThroughput(3, []int{1, 4, 8}, 300*time.Millisecond)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "realnet throughput:", err)
+			os.Exit(1)
+		}
+		return []*stats.Table{lat, tput}
+	}
 
 	if *jsonOut {
 		rep := exp.RunAllJSON(*quick)
 		if *realtime {
 			rep.Tables = append(rep.Tables, exp.TableJSON("realtime", scaling()))
+		}
+		if *realnet {
+			ts := realnetTables()
+			rep.Tables = append(rep.Tables,
+				exp.TableJSON("realnet-latency", ts[0]),
+				exp.TableJSON("realnet-throughput", ts[1]))
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -68,6 +94,13 @@ func main() {
 			fmt.Fprintln(w, "\n== R1: real-runtime family scaling (this host) ==")
 			fmt.Fprintln(w)
 			fmt.Fprintln(w, scaling())
+		}
+		if *realnet {
+			fmt.Fprintln(w, "\n== R2/R3: real-network commitment over loopback UDP (this host) ==")
+			fmt.Fprintln(w)
+			for _, t := range realnetTables() {
+				fmt.Fprintln(w, t)
+			}
 		}
 		return
 	}
@@ -102,6 +135,10 @@ func main() {
 		fmt.Fprintln(w, exp.AblationCommitVariants(paper, trials))
 	case "realtime":
 		fmt.Fprintln(w, scaling())
+	case "realnet":
+		for _, t := range realnetTables() {
+			fmt.Fprintln(w, t)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)

@@ -1,0 +1,487 @@
+// Command camelot-cluster deploys and torments a real multi-process
+// Camelot cluster: it spawns one camelot-node per site on loopback,
+// drives a seeded distributed-transaction workload through their
+// control ports — two-phase and non-blocking commits, read-only
+// participants, randomized write sets — SIGKILLs a subordinate
+// mid-run, restarts it against its surviving write-ahead log, and
+// then checks the recovery oracle's invariants (atomicity, client
+// view, outcome agreement, liveness) over the control plane. With
+// -bounce it finally SIGKILLs and restarts every node and checks
+// again: updates that survive that pass were genuinely on disk.
+//
+// This is the chaos explorer's discipline applied to real processes:
+// same invariants, same oracle, but real UDP loss-and-reorder, real
+// fsync, real SIGKILL.
+//
+//	camelot-cluster -nodes 3 -txns 200 -seed 1
+//
+// Exit status is nonzero if any invariant was violated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/ctl"
+	"camelot/internal/oracle"
+)
+
+// ReportSchema identifies the -json output format.
+const ReportSchema = "camelot-cluster/v1"
+
+func main() {
+	cfg := clusterConfig{}
+	flag.IntVar(&cfg.Nodes, "nodes", 3, "number of sites")
+	flag.IntVar(&cfg.Txns, "txns", 200, "workload transactions")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "workload seed")
+	flag.StringVar(&cfg.NodeBin, "node", "", "camelot-node binary (built with 'go build' when empty)")
+	flag.BoolVar(&cfg.JSON, "json", false, "emit a JSON report on stdout")
+	flag.BoolVar(&cfg.Bounce, "bounce", true, "after the run, kill and restart every node and re-check durability")
+	flag.BoolVar(&cfg.Kill, "kill", true, "SIGKILL a subordinate mid-run and restart it later")
+	flag.DurationVar(&cfg.Retry, "retry", 50*time.Millisecond, "node retry interval")
+	flag.Parse()
+
+	rep, err := runCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "camelot-cluster:", err)
+		os.Exit(1)
+	}
+	if cfg.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck // stdout
+	} else {
+		rep.print(os.Stderr)
+	}
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+type clusterConfig struct {
+	Nodes   int
+	Txns    int
+	Seed    int64
+	NodeBin string
+	JSON    bool
+	Bounce  bool
+	Kill    bool
+	Retry   time.Duration
+}
+
+// report is the run's outcome summary.
+type report struct {
+	Schema     string   `json:"schema"`
+	Nodes      int      `json:"nodes"`
+	Txns       int      `json:"txns"`
+	Seed       int64    `json:"seed"`
+	Committed  int      `json:"committed"`
+	Aborted    int      `json:"aborted"`
+	Unknown    int      `json:"unknown"`
+	Skipped    int      `json:"skipped"`
+	Killed     int      `json:"killed_site"`
+	Sent       int      `json:"datagrams_sent"`
+	Recv       int      `json:"datagrams_received"`
+	Dropped    int      `json:"datagrams_dropped"`
+	Oversize   int      `json:"oversize_refusals"`
+	Violations []string `json:"violations"`
+}
+
+func (r *report) print(w *os.File) {
+	fmt.Fprintf(w, "camelot-cluster: %d nodes, %d txns, seed %d\n", r.Nodes, r.Txns, r.Seed)
+	fmt.Fprintf(w, "  outcomes: %d committed, %d aborted, %d unknown, %d skipped\n",
+		r.Committed, r.Aborted, r.Unknown, r.Skipped)
+	fmt.Fprintf(w, "  transport: %d sent, %d received, %d dropped, %d oversize\n",
+		r.Sent, r.Recv, r.Dropped, r.Oversize)
+	if len(r.Violations) == 0 {
+		fmt.Fprintf(w, "  oracle: all invariants hold\n")
+		return
+	}
+	fmt.Fprintf(w, "  oracle: %d violations\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "    %s\n", v)
+	}
+}
+
+// proc is one spawned camelot-node.
+type proc struct {
+	site    camelot.SiteID
+	wal     string
+	udpAddr string
+	ctlAddr string
+	cmd     *exec.Cmd
+	client  *ctl.Client
+	down    bool
+}
+
+// spawn starts a camelot-node and parses its READY line. listen and
+// control are "127.0.0.1:0" on first start and the node's previous
+// concrete addresses on a restart, so the rest of the cluster's peer
+// maps stay valid across the bounce.
+func spawn(bin string, site camelot.SiteID, wal, listen, control string, retry time.Duration) (*proc, error) {
+	cmd := exec.Command(bin,
+		"-site", fmt.Sprint(uint32(site)),
+		"-wal", wal,
+		"-listen", listen,
+		"-control", control,
+		"-retry", retry.String(),
+	)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start site %d: %w", site, err)
+	}
+
+	type ready struct {
+		udp, ctl string
+		err      error
+	}
+	ch := make(chan ready, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "READY ") {
+				continue
+			}
+			var gotSite int
+			var r ready
+			if _, err := fmt.Sscanf(line, "READY site=%d udp=%s ctl=%s", &gotSite, &r.udp, &r.ctl); err != nil {
+				r.err = fmt.Errorf("site %d: bad READY line %q: %v", site, line, err)
+			}
+			ch <- r
+			return
+		}
+		ch <- ready{err: fmt.Errorf("site %d exited before READY (recovery failure?)", site)}
+	}()
+
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			cmd.Process.Kill() //nolint:errcheck // already failing
+			cmd.Wait()         //nolint:errcheck // reap
+			return nil, r.err
+		}
+		client, err := ctl.Dial(r.ctl)
+		if err != nil {
+			cmd.Process.Kill() //nolint:errcheck // already failing
+			cmd.Wait()         //nolint:errcheck // reap
+			return nil, err
+		}
+		return &proc{site: site, wal: wal, udpAddr: r.udp, ctlAddr: r.ctl, cmd: cmd, client: client}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck // already failing
+		cmd.Wait()         //nolint:errcheck // reap
+		return nil, fmt.Errorf("site %d: no READY within 30s", site)
+	}
+}
+
+// kill SIGKILLs the node — the crash recovery exists for. The WAL
+// file and the addresses survive for the next incarnation.
+func (p *proc) kill() {
+	if p.down {
+		return
+	}
+	p.client.Close()     //nolint:errcheck // process is going away
+	p.cmd.Process.Kill() //nolint:errcheck // SIGKILL is the point
+	p.cmd.Wait()         //nolint:errcheck // reap
+	p.down = true
+}
+
+// restart brings a killed node back on its previous addresses; the
+// daemon replays the WAL before printing READY.
+func (p *proc) restart(bin string, retry time.Duration) error {
+	np, err := spawn(bin, p.site, p.wal, p.udpAddr, p.ctlAddr, retry)
+	if err != nil {
+		return err
+	}
+	*p = *np
+	return nil
+}
+
+// stop terminates the node gracefully at the end of the run.
+func (p *proc) stop() {
+	if p.down {
+		return
+	}
+	p.client.Close()                   //nolint:errcheck // shutting down
+	p.cmd.Process.Signal(os.Interrupt) //nolint:errcheck // best effort
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }() //nolint:errcheck // reap
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		p.cmd.Process.Kill() //nolint:errcheck // it had its chance
+		<-done
+	}
+	p.down = true
+}
+
+// nodeBinary returns cfg.NodeBin, building the daemon into dir first
+// when none was supplied.
+func nodeBinary(cfg clusterConfig, dir string) (string, error) {
+	if cfg.NodeBin != "" {
+		return cfg.NodeBin, nil
+	}
+	bin := filepath.Join(dir, "camelot-node")
+	build := exec.Command("go", "build", "-o", bin, "camelot/cmd/camelot-node")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return "", fmt.Errorf("building camelot-node: %w", err)
+	}
+	return bin, nil
+}
+
+func runCluster(cfg clusterConfig) (*report, error) {
+	if cfg.Nodes < 2 {
+		return nil, errors.New("need at least 2 nodes")
+	}
+	dir, err := os.MkdirTemp("", "camelot-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	bin, err := nodeBinary(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Boot every site, collect addresses, then tell everyone about
+	// everyone: nodes bind :0 before the full address map can exist,
+	// which is exactly the startup race the transport's handler-less
+	// backlog covers.
+	var sites []camelot.SiteID
+	procs := make(map[camelot.SiteID]*proc)
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+	for i := 1; i <= cfg.Nodes; i++ {
+		id := camelot.SiteID(i)
+		p, err := spawn(bin, id, filepath.Join(dir, fmt.Sprintf("site%d.wal", i)),
+			"127.0.0.1:0", "127.0.0.1:0", cfg.Retry)
+		if err != nil {
+			return nil, err
+		}
+		procs[id] = p
+		sites = append(sites, id)
+	}
+	peers := make(map[camelot.SiteID]string, len(sites))
+	for id, p := range procs {
+		peers[id] = p.udpAddr
+	}
+	sendPeers := func() error {
+		for _, id := range sites {
+			if p := procs[id]; !p.down {
+				if err := p.client.SetPeers(peers); err != nil {
+					return fmt.Errorf("site %d: peers: %w", id, err)
+				}
+			}
+		}
+		return nil
+	}
+	if err := sendPeers(); err != nil {
+		return nil, err
+	}
+
+	// The fault schedule: SIGKILL the highest site a third of the way
+	// in, restart it at two thirds. Index-based, so a seed names one
+	// deterministic schedule.
+	victim := sites[len(sites)-1]
+	killAt, restartAt := cfg.Txns/3, 2*cfg.Txns/3
+	rep := &report{Schema: ReportSchema, Nodes: cfg.Nodes, Txns: cfg.Txns, Seed: cfg.Seed,
+		Killed: int(victim), Violations: []string{}}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	txns := make([]oracle.Txn, cfg.Txns)
+	for i := 0; i < cfg.Txns; i++ {
+		if cfg.Kill && i == killAt {
+			procs[victim].kill()
+		}
+		if cfg.Kill && i == restartAt {
+			if err := procs[victim].restart(bin, cfg.Retry); err != nil {
+				return nil, fmt.Errorf("restarting site %d: %w", victim, err)
+			}
+			if err := sendPeers(); err != nil {
+				return nil, err
+			}
+		}
+		txns[i] = runTxn(rng, i, sites, procs)
+	}
+
+	// Quiesce: let outcome retries, presumed-abort inquiries, and ack
+	// fan-ins finish against the healed cluster.
+	time.Sleep(20 * cfg.Retry)
+
+	views := make(map[camelot.SiteID]oracle.SiteView, len(sites))
+	for _, id := range sites {
+		views[id] = &ctl.View{C: procs[id].client, Server: "store"}
+	}
+	for _, v := range oracle.CheckViews(sites, views, txns) {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+
+	// Transport counters, before any bounce resets the processes.
+	for _, id := range sites {
+		if st, err := procs[id].client.TransportStats(); err == nil {
+			rep.Sent += st.Sent
+			rep.Recv += st.Recv
+			rep.Dropped += st.Dropped
+			rep.Oversize += st.Oversize
+		}
+	}
+
+	if cfg.Bounce {
+		// Everything lazily buffered must be on disk before the axe:
+		// the nodes' flush interval is well under this sleep.
+		time.Sleep(250 * time.Millisecond)
+		for _, id := range sites {
+			procs[id].kill()
+		}
+		for _, id := range sites {
+			if err := procs[id].restart(bin, cfg.Retry); err != nil {
+				return nil, fmt.Errorf("bounce: restarting site %d: %w", id, err)
+			}
+		}
+		if err := sendPeers(); err != nil {
+			return nil, err
+		}
+		// In-doubt survivors resolve by inquiry once everyone is back.
+		time.Sleep(20 * cfg.Retry)
+		for _, id := range sites {
+			views[id] = &ctl.View{C: procs[id].client, Server: "store"}
+		}
+		for _, v := range oracle.CheckViews(sites, views, txns) {
+			rep.Violations = append(rep.Violations, "durability: "+v.String())
+		}
+	}
+
+	for _, tx := range txns {
+		switch tx.Outcome {
+		case oracle.Committed:
+			rep.Committed++
+		case oracle.Aborted:
+			rep.Aborted++
+		case oracle.Skipped:
+			rep.Skipped++
+		default:
+			rep.Unknown++
+		}
+	}
+	return rep, nil
+}
+
+// runTxn drives one workload transaction: a random up coordinator, a
+// random write set (the txn's key written at each member), sometimes
+// a read-only participant (exercising the read-only vote), sometimes
+// the non-blocking protocol. Returns the oracle's record of it.
+func runTxn(rng *rand.Rand, i int, sites []camelot.SiteID, procs map[camelot.SiteID]*proc) oracle.Txn {
+	key := fmt.Sprintf("txn%04d", i)
+
+	// Draw the schedule before consulting liveness, so the random
+	// sequence for a seed does not depend on timing.
+	coordPick := rng.Intn(len(sites))
+	var writers []camelot.SiteID
+	for _, id := range sites {
+		if rng.Float64() < 0.7 {
+			writers = append(writers, id)
+		}
+	}
+	withReader := rng.Float64() < 0.3
+	readerPick := rng.Intn(len(sites))
+	nonBlocking := rng.Float64() < 0.3
+
+	var up []camelot.SiteID
+	for _, id := range sites {
+		if !procs[id].down {
+			up = append(up, id)
+		}
+	}
+	coord := up[coordPick%len(up)]
+	if len(writers) == 0 {
+		writers = []camelot.SiteID{coord}
+	}
+	hasCoord := false
+	for _, w := range writers {
+		hasCoord = hasCoord || w == coord
+	}
+	if !hasCoord {
+		writers = append(writers, coord)
+	}
+
+	tx := oracle.Txn{Key: key, Outcome: oracle.Skipped, Sites: writers}
+	t, err := procs[coord].client.Begin()
+	if err != nil {
+		return tx
+	}
+	tx.Family = t.Family
+
+	participants := map[camelot.SiteID]bool{}
+	ok := true
+	for _, w := range writers {
+		if procs[w].down {
+			ok = false
+			break
+		}
+		if err := procs[w].client.Write("store", t, key, []byte(fmt.Sprintf("v%d@%d", i, w))); err != nil {
+			ok = false
+			break
+		}
+		participants[w] = true
+	}
+	// A read-only participant joins the family but holds no updates;
+	// its prepare answers with the read-only vote and drops out of
+	// phase two.
+	if ok && withReader {
+		reader := sites[readerPick%len(sites)]
+		if !procs[reader].down && !participants[reader] {
+			if _, err := procs[reader].client.Read("store", t, fmt.Sprintf("txn%04d", i/2)); err == nil {
+				participants[reader] = true
+			}
+		}
+	}
+
+	var remote []camelot.SiteID
+	for _, id := range sites {
+		if participants[id] && id != coord {
+			remote = append(remote, id)
+		}
+	}
+	if !ok {
+		procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+		tx.Outcome = oracle.Aborted
+		return tx
+	}
+	if len(remote) > 0 {
+		if err := procs[coord].client.AddSites(t, remote); err != nil {
+			procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+			tx.Outcome = oracle.Aborted
+			return tx
+		}
+	}
+	_, err = procs[coord].client.Commit(t, nonBlocking)
+	switch {
+	case err == nil:
+		tx.Outcome = oracle.Committed
+	case errors.Is(err, ctl.ErrAborted):
+		tx.Outcome = oracle.Aborted
+	default:
+		tx.Outcome = oracle.Unknown
+	}
+	return tx
+}

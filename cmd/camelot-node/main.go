@@ -1,0 +1,84 @@
+// Command camelot-node runs one real Camelot site as a daemon: the
+// transaction manager and a data server on the ordinary Go runtime,
+// a write-ahead log on disk, transaction-protocol traffic over UDP,
+// and a TCP control port through which a driver (cmd/camelot-cluster,
+// or anything speaking internal/ctl's JSON-line protocol) operates
+// the site.
+//
+// Startup always runs recovery against the WAL — a no-op on a fresh
+// file, a full log replay after a crash — then prints one line:
+//
+//	READY site=N udp=HOST:PORT ctl=HOST:PORT
+//
+// to stdout, which the driver parses to learn the bound addresses.
+// Peer addresses arrive over the control port (op "peers") once the
+// driver has collected everyone's READY line. The process exits on
+// SIGINT/SIGTERM; SIGKILL is the crash the WAL exists for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/ctl"
+)
+
+func main() {
+	var (
+		site    = flag.Uint("site", 0, "site id (nonzero, unique per deployment)")
+		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address for transaction-protocol datagrams")
+		control = flag.String("control", "127.0.0.1:0", "TCP listen address for the control plane")
+		walPath = flag.String("wal", "", "write-ahead log file (required)")
+		server  = flag.String("server", "store", "data server name")
+		retry   = flag.Duration("retry", 50*time.Millisecond, "coordinator retry interval (masks datagram loss)")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("camelot-node[site%d]: ", *site))
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	if *site == 0 || *walPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: camelot-node -site N -wal PATH [-listen ADDR] [-control ADDR]")
+		os.Exit(2)
+	}
+
+	cfg := camelot.DefaultRealConfig(camelot.SiteID(*site))
+	cfg.Listen = *listen
+	cfg.WALPath = *walPath
+	cfg.Servers = []string{*server}
+	cfg.RetryInterval = *retry
+	cfg.InquireInterval = *retry
+	cfg.Logf = log.Printf
+
+	node, err := camelot.StartRealNode(cfg)
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	// Recovery before traffic: replay the on-disk log, reinstall
+	// committed state, re-acquire in-doubt locks, resume unresolved
+	// commitments. Refusing to run from an unreadable log is the
+	// fail-stop behavior recovery relies on.
+	if err := node.Recover(); err != nil {
+		log.Fatalf("recovery failed, refusing to serve: %v", err)
+	}
+
+	srv, err := ctl.Serve(node, *control)
+	if err != nil {
+		log.Fatalf("control listen: %v", err)
+	}
+
+	// The driver parses this line; keep its shape stable.
+	fmt.Printf("READY site=%d udp=%s ctl=%s\n", *site, node.Addr(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("caught %v, shutting down", s)
+	srv.Close()  //nolint:errcheck // exiting anyway
+	node.Close() //nolint:errcheck // exiting anyway
+}

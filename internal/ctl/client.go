@@ -1,0 +1,178 @@
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"camelot/camelot"
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// ErrAborted mirrors camelot.ErrAborted across the control plane: a
+// Commit that ended in a clean abort reports it as this error, so
+// drivers classify outcomes the same way an in-process client would.
+var ErrAborted = camelot.ErrAborted
+
+// Client is one driver-side control connection to a camelot-node.
+// Requests on one Client are serialized; use one Client per
+// concurrent stream of work.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects to a node's control address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: dial %q: %w", addr, err)
+	}
+	return &Client{conn: conn, br: bufio.NewReaderSize(conn, maxLine)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one request/response exchange. A transport failure
+// (node killed mid-call, say) is returned as an error; a protocol
+// level failure arrives in Response.Err.
+func (c *Client) Do(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := json.Marshal(&req)
+	if err != nil {
+		return Response{}, err
+	}
+	if _, err := c.conn.Write(append(b, '\n')); err != nil {
+		return Response{}, fmt.Errorf("ctl: send %s: %w", req.Op, err)
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Response{}, fmt.Errorf("ctl: decode %s: %w", req.Op, err)
+	}
+	return resp, nil
+}
+
+// do performs an exchange and folds Response.Err into the error.
+func (c *Client) do(req Request) (Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return resp, err
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness and returns the node's site id.
+func (c *Client) Ping() (camelot.SiteID, error) {
+	resp, err := c.do(Request{Op: OpPing})
+	return camelot.SiteID(resp.Site), err
+}
+
+// SetPeers installs the deployment's site-id -> UDP-address map.
+func (c *Client) SetPeers(peers map[camelot.SiteID]string) error {
+	m := make(map[string]string, len(peers))
+	for id, addr := range peers {
+		m[strconv.FormatUint(uint64(id), 10)] = addr
+	}
+	_, err := c.do(Request{Op: OpPeers, Peers: m})
+	return err
+}
+
+// Begin starts a transaction coordinated by the node.
+func (c *Client) Begin() (camelot.TID, error) {
+	resp, err := c.do(Request{Op: OpBegin})
+	return tid.TID{Family: tid.FamilyID(resp.Family), Seq: tid.Seq(resp.Seq)}, err
+}
+
+// Write writes key=val at the node's named server under t.
+func (c *Client) Write(server string, t camelot.TID, key string, val []byte) error {
+	_, err := c.do(Request{Op: OpWrite, Server: server,
+		Family: uint64(t.Family), Seq: uint64(t.Seq), Key: key, Val: val})
+	return err
+}
+
+// Read reads key at the node's named server under t.
+func (c *Client) Read(server string, t camelot.TID, key string) ([]byte, error) {
+	resp, err := c.do(Request{Op: OpRead, Server: server,
+		Family: uint64(t.Family), Seq: uint64(t.Seq), Key: key})
+	return resp.Val, err
+}
+
+// AddSites declares remote participant sites at the coordinator.
+func (c *Client) AddSites(t camelot.TID, sites []camelot.SiteID) error {
+	ids := make([]uint32, 0, len(sites))
+	for _, s := range sites {
+		ids = append(ids, uint32(s))
+	}
+	_, err := c.do(Request{Op: OpAddSites,
+		Family: uint64(t.Family), Seq: uint64(t.Seq), Sites: ids})
+	return err
+}
+
+// Commit runs the commitment protocol for t at the coordinator. A
+// clean abort returns ErrAborted (wrapped); other errors mean the
+// outcome is unknown to the client.
+func (c *Client) Commit(t camelot.TID, nonBlocking bool) (wire.Outcome, error) {
+	resp, err := c.Do(Request{Op: OpCommit,
+		Family: uint64(t.Family), Seq: uint64(t.Seq), NonBlocking: nonBlocking})
+	if err != nil {
+		return wire.OutcomeUnknown, err
+	}
+	if resp.Err != "" {
+		if resp.Aborted {
+			return OutcomeFromString(resp.Outcome), fmt.Errorf("%w: %s", ErrAborted, resp.Err)
+		}
+		return OutcomeFromString(resp.Outcome), errors.New(resp.Err)
+	}
+	return OutcomeFromString(resp.Outcome), nil
+}
+
+// Abort aborts t.
+func (c *Client) Abort(t camelot.TID) error {
+	_, err := c.do(Request{Op: OpAbort, Family: uint64(t.Family), Seq: uint64(t.Seq)})
+	return err
+}
+
+// Peek returns the committed value of key at the node's named server.
+func (c *Client) Peek(server, key string) ([]byte, bool, error) {
+	resp, err := c.do(Request{Op: OpPeek, Server: server, Key: key})
+	return resp.Val, resp.Present, err
+}
+
+// Outcome returns the node's resolved outcome for a family.
+func (c *Client) Outcome(f tid.FamilyID) (wire.Outcome, error) {
+	resp, err := c.do(Request{Op: OpOutcome, Family: uint64(f)})
+	return OutcomeFromString(resp.Outcome), err
+}
+
+// Probe runs the oracle's liveness probe at the node.
+func (c *Client) Probe(server string) error {
+	_, err := c.do(Request{Op: OpProbe, Server: server})
+	return err
+}
+
+// TransportStats returns the node's transport counters.
+func (c *Client) TransportStats() (Stats, error) {
+	resp, err := c.do(Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("ctl: stats missing in response")
+	}
+	return *resp.Stats, nil
+}

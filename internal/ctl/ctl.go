@@ -1,0 +1,259 @@
+// Package ctl is the control plane of a real Camelot deployment: a
+// newline-delimited JSON request/response protocol over TCP through
+// which a driver process operates a camelot-node — begins
+// transactions, reads and writes data servers, runs commit, and
+// interrogates the site for the recovery oracle's invariants.
+//
+// The control plane is deliberately not the transaction protocol:
+// TranMan-to-TranMan traffic rides UDP datagrams (internal/transport)
+// with no delivery guarantee, exactly as studied; the control
+// connection is an ordinary reliable stream from the driver to each
+// node, standing in for the application that would link against the
+// Camelot library in a real deployment.
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"camelot/camelot"
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// Ops understood by a node's control server.
+const (
+	OpPing     = "ping"     // liveness; echoes the site id
+	OpPeers    = "peers"    // install the site-id -> UDP-address map
+	OpBegin    = "begin"    // begin a transaction coordinated here
+	OpWrite    = "write"    // write Key=Val at the local server under TID
+	OpRead     = "read"     // read Key at the local server under TID
+	OpAddSites = "addsites" // declare remote participants (coordinator)
+	OpCommit   = "commit"   // run the commitment protocol (coordinator)
+	OpAbort    = "abort"    // abort the transaction
+	OpPeek     = "peek"     // committed value of Key, no transaction
+	OpOutcome  = "outcome"  // this site's resolved outcome for a family
+	OpProbe    = "probe"    // begin/write/abort liveness probe
+	OpStats    = "stats"    // transport counters
+)
+
+// Request is one control-plane request. TIDs travel as their two
+// integer halves (Family, Seq); peer addresses as a map keyed by the
+// decimal site id (JSON objects cannot have integer keys).
+type Request struct {
+	Op          string            `json:"op"`
+	Server      string            `json:"server,omitempty"`
+	Family      uint64            `json:"family,omitempty"`
+	Seq         uint64            `json:"seq,omitempty"`
+	Key         string            `json:"key,omitempty"`
+	Val         []byte            `json:"val,omitempty"`
+	Sites       []uint32          `json:"sites,omitempty"`
+	Peers       map[string]string `json:"peers,omitempty"`
+	NonBlocking bool              `json:"nonblocking,omitempty"`
+}
+
+// Response answers one Request. Err is empty on success; Aborted
+// distinguishes a clean transaction abort from other failures so the
+// driver can classify outcomes without parsing error strings.
+type Response struct {
+	OK      bool   `json:"ok"`
+	Err     string `json:"err,omitempty"`
+	Aborted bool   `json:"aborted,omitempty"`
+	Site    uint32 `json:"site,omitempty"`
+	Family  uint64 `json:"family,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Val     []byte `json:"val,omitempty"`
+	Present bool   `json:"present,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	Stats   *Stats `json:"stats,omitempty"`
+}
+
+// Stats carries the node's transport counters.
+type Stats struct {
+	Sent     int    `json:"sent"`
+	Recv     int    `json:"recv"`
+	Dropped  int    `json:"dropped"`
+	Oversize int    `json:"oversize"`
+	Err      string `json:"err,omitempty"`
+}
+
+// maxLine bounds one protocol line; values are small keys and values,
+// so a megabyte is generous.
+const maxLine = 1 << 20
+
+// Server serves the control protocol for one RealNode.
+type Server struct {
+	node *camelot.RealNode
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a control server for node on addr (e.g.
+// "127.0.0.1:0") and begins accepting connections.
+func Serve(node *camelot.RealNode, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: listen %q: %w", addr, err)
+	}
+	s := &Server{node: node, ln: ln}
+	//lint:rawgo host-side TCP accept loop; the control plane never runs under the simulation kernel
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections. In-flight handlers finish on
+// their own connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		//lint:rawgo one goroutine per control connection; host-side only
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close() //nolint:errcheck // read loop below is the failure signal
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), maxLine)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = Response{Err: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	n := s.node
+	t := tid.TID{Family: tid.FamilyID(req.Family), Seq: tid.Seq(req.Seq)}
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true, Site: uint32(n.ID())}
+
+	case OpPeers:
+		for k, addr := range req.Peers {
+			id, err := strconv.ParseUint(k, 10, 32)
+			if err != nil {
+				return Response{Err: fmt.Sprintf("bad site id %q", k)}
+			}
+			if camelot.SiteID(id) == n.ID() {
+				continue
+			}
+			if err := n.AddPeer(camelot.SiteID(id), addr); err != nil {
+				return Response{Err: err.Error()}
+			}
+		}
+		return Response{OK: true}
+
+	case OpBegin:
+		bt, err := n.Begin()
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{OK: true, Family: uint64(bt.Family), Seq: uint64(bt.Seq)}
+
+	case OpWrite:
+		if err := n.Write(req.Server, t, req.Key, req.Val); err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{OK: true}
+
+	case OpRead:
+		val, err := n.Read(req.Server, t, req.Key)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{OK: true, Val: val, Present: val != nil}
+
+	case OpAddSites:
+		sites := make([]camelot.SiteID, 0, len(req.Sites))
+		for _, id := range req.Sites {
+			sites = append(sites, camelot.SiteID(id))
+		}
+		n.AddSites(t, sites)
+		return Response{OK: true}
+
+	case OpCommit:
+		out, err := n.Commit(t, camelot.Options{NonBlocking: req.NonBlocking})
+		resp := Response{Outcome: out.String()}
+		if err != nil {
+			resp.Err = err.Error()
+			resp.Aborted = errors.Is(err, camelot.ErrAborted)
+			return resp
+		}
+		resp.OK = true
+		return resp
+
+	case OpAbort:
+		n.Abort(t)
+		return Response{OK: true}
+
+	case OpPeek:
+		val, ok := n.Peek(req.Server, req.Key)
+		return Response{OK: true, Val: val, Present: ok}
+
+	case OpOutcome:
+		return Response{OK: true, Outcome: n.OutcomeOf(tid.FamilyID(req.Family)).String()}
+
+	case OpProbe:
+		pt, err := n.Begin()
+		if err != nil {
+			return Response{Err: fmt.Sprintf("cannot begin after quiesce: %v", err)}
+		}
+		if err := n.Write(req.Server, pt, "oracle-probe", []byte("x")); err != nil {
+			n.Abort(pt)
+			return Response{Err: fmt.Sprintf("probe write blocked (leaked lock?): %v", err)}
+		}
+		n.Abort(pt)
+		return Response{OK: true}
+
+	case OpStats:
+		sent, recv, dropped := n.Peer().Stats()
+		st := &Stats{Sent: sent, Recv: recv, Dropped: dropped, Oversize: n.Peer().Oversize()}
+		if err := n.Peer().Err(); err != nil {
+			st.Err = err.Error()
+		}
+		return Response{OK: true, Stats: st}
+
+	default:
+		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// OutcomeFromString parses a Response.Outcome back into the wire type.
+func OutcomeFromString(s string) wire.Outcome {
+	switch s {
+	case wire.OutcomeCommit.String():
+		return wire.OutcomeCommit
+	case wire.OutcomeAbort.String():
+		return wire.OutcomeAbort
+	}
+	return wire.OutcomeUnknown
+}

@@ -1,0 +1,32 @@
+package ctl
+
+import (
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// View adapts a control connection to the oracle's SiteView: the
+// recovery invariants are checked against real node processes with
+// exactly the same code that checks the simulated cluster.
+type View struct {
+	// C is the control connection to the node.
+	C *Client
+	// Server is the node's data-server name.
+	Server string
+}
+
+// HasKey implements oracle.SiteView.
+func (v *View) HasKey(key string) (bool, error) {
+	_, ok, err := v.C.Peek(v.Server, key)
+	return ok, err
+}
+
+// OutcomeOf implements oracle.SiteView.
+func (v *View) OutcomeOf(f tid.FamilyID) (wire.Outcome, error) {
+	return v.C.Outcome(f)
+}
+
+// Probe implements oracle.SiteView.
+func (v *View) Probe() error {
+	return v.C.Probe(v.Server)
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"camelot/internal/core"
+	"camelot/internal/rt"
+	"camelot/internal/server"
+	"camelot/internal/stats"
+	"camelot/internal/tid"
+	"camelot/internal/transport"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// Like the R1 scaling sweep, this experiment measures the
+// reproduction rather than the paper: the same commitment protocols
+// the simulator charges with modeled datagram latencies here run over
+// real loopback UDP sockets on the ordinary Go runtime — real
+// marshaling, real kernel round trips, real loss semantics (none of
+// it guaranteed). The simulated tables answer "what did the paper's
+// testbed see"; these answer "what does this implementation actually
+// cost on a wire".
+
+// realNetSite is one in-process site wired over UDP: manager, data
+// server, and a memory-backed group-commit log (memory so the tables
+// isolate the network path; the disk is camelot-node's business).
+type realNetSite struct {
+	id   tid.SiteID
+	peer *transport.UDPPeer
+	tm   *core.Manager
+	srv  *server.Server
+	log  *wal.Log
+}
+
+// startRealNet boots n sites on loopback and fully meshes their
+// address maps.
+func startRealNet(r rt.Runtime, n int) ([]*realNetSite, error) {
+	sites := make([]*realNetSite, 0, n)
+	for i := 1; i <= n; i++ {
+		peer, err := transport.NewUDPPeer(tid.SiteID(i), "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		log := wal.Open(r, wal.NewMemStore(), wal.Config{
+			GroupCommit: true, FlushInterval: 2 * time.Millisecond,
+		})
+		tm := core.New(r, core.Config{
+			Site:             tid.SiteID(i),
+			Threads:          8,
+			RetryInterval:    50 * time.Millisecond,
+			InquireInterval:  50 * time.Millisecond,
+			PromotionTimeout: 200 * time.Millisecond,
+			AckFlushInterval: 10 * time.Millisecond,
+		}, log, peer)
+		srv := server.New(r, "store", tm, log, server.Config{LockTimeout: 2 * time.Second})
+		s := &realNetSite{id: tid.SiteID(i), peer: peer, tm: tm, srv: srv, log: log}
+		peer.SetHandler(func(d transport.Datagram) {
+			if msg, ok := d.Payload.(*wire.Msg); ok {
+				s.tm.Deliver(msg)
+			}
+		})
+		sites = append(sites, s)
+	}
+	for _, a := range sites {
+		for _, b := range sites {
+			if a == b {
+				continue
+			}
+			if err := a.peer.AddPeer(b.id, b.peer.Addr()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sites, nil
+}
+
+func stopRealNet(sites []*realNetSite) {
+	for _, s := range sites {
+		s.tm.Close()
+		s.log.Close()
+		s.peer.Close() //nolint:errcheck // benchmark teardown
+	}
+}
+
+// realNetTxn runs one distributed update through the mesh: write key
+// at the coordinator and every remote site, then commit under opts.
+func realNetTxn(sites []*realNetSite, key string, opts core.Options) error {
+	coord := sites[0]
+	t, err := coord.tm.Begin()
+	if err != nil {
+		return err
+	}
+	var remote []tid.SiteID
+	for _, s := range sites {
+		if err := s.srv.Write(t, tid.TID{}, key, []byte("v")); err != nil {
+			coord.tm.Abort(t)
+			return err
+		}
+		if s != coord {
+			remote = append(remote, s.id)
+		}
+	}
+	coord.tm.AddSites(t, remote)
+	_, err = coord.tm.Commit(t, opts)
+	return err
+}
+
+// RealNetLatency measures commit latency for txns distributed updates
+// across nSites in-process sites over loopback UDP, one table row per
+// protocol variant. Wall-clock numbers: they describe this host.
+func RealNetLatency(nSites, txns int) (*stats.Table, error) {
+	r := rt.Real()
+	t := stats.NewTable(
+		fmt.Sprintf("R2: Real-Network Commit Latency (%d sites, loopback UDP, n=%d)", nSites, txns),
+		"protocol", "median ms", "p95 ms", "max ms")
+
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"2PC", core.Options{}},
+		{"2PC forced-sub", core.Options{ForceSubCommit: true}},
+		{"non-blocking", core.Options{NonBlocking: true}},
+	}
+	for _, v := range variants {
+		sites, err := startRealNet(r, nSites)
+		if err != nil {
+			stopRealNet(sites)
+			return nil, err
+		}
+		sample := &stats.Sample{}
+		for i := 0; i < txns; i++ {
+			key := fmt.Sprintf("%s-%d", v.name, i)
+			begin := r.Now()
+			if err := realNetTxn(sites, key, v.opts); err != nil {
+				stopRealNet(sites)
+				return nil, fmt.Errorf("%s txn %d: %w", v.name, i, err)
+			}
+			sample.AddDuration(r.Now() - begin)
+		}
+		stopRealNet(sites)
+		t.AddRow(v.name,
+			fmt.Sprintf("%.3f", sample.Percentile(50)),
+			fmt.Sprintf("%.3f", sample.Percentile(95)),
+			fmt.Sprintf("%.3f", sample.Max()))
+	}
+	return t, nil
+}
+
+// RealNetThroughput measures closed-loop distributed commit
+// throughput over loopback UDP: workers concurrent client loops, each
+// driving distributed 2PC updates through the same nSites mesh, for
+// one measurement window per row.
+func RealNetThroughput(nSites int, workers []int, window time.Duration) (*stats.Table, error) {
+	r := rt.Real()
+	t := stats.NewTable(
+		fmt.Sprintf("R3: Real-Network Commit Throughput (%d sites, loopback UDP, %s window)", nSites, window),
+		"clients", "committed/s")
+
+	for _, w := range workers {
+		sites, err := startRealNet(r, nSites)
+		if err != nil {
+			stopRealNet(sites)
+			return nil, err
+		}
+		var stop atomic.Bool
+		var committed atomic.Int64
+		wg := rt.NewWaitGroup(r)
+		wg.Add(w)
+		for c := 0; c < w; c++ {
+			c := c
+			r.Go(fmt.Sprintf("realnet-client%d", c), func() {
+				defer wg.Done()
+				for i := 0; !stop.Load(); i++ {
+					key := fmt.Sprintf("c%d-k%d", c, i)
+					if err := realNetTxn(sites, key, core.Options{}); err == nil {
+						committed.Add(1)
+					}
+				}
+			})
+		}
+		r.Sleep(window / 4) // settle before counting
+		committed.Store(0)
+		r.Sleep(window)
+		total := committed.Load()
+		stop.Store(true)
+		wg.Wait()
+		stopRealNet(sites)
+		t.AddRow(fmt.Sprintf("%d", w), fmt.Sprintf("%.0f", float64(total)/window.Seconds()))
+	}
+	return t, nil
+}

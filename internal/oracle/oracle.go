@@ -15,11 +15,16 @@
 //   - Liveness: every site can begin, write, and abort a fresh probe
 //     transaction — no leaked locks, no wedged manager.
 //
-// The oracle must be invoked from a cluster thread (it runs probe
-// transactions), after faults are healed and the protocol has been
-// given time to quiesce. Durability is checked by the caller running
-// Check, bouncing every site, and running Check again: updates that
-// survive that second pass were genuinely on stable storage.
+// The invariants are phrased against SiteView, an interrogation
+// interface a site can answer either in process (the simulated
+// cluster) or over a control connection (a real camelot-node
+// process); CheckViews is the engine and Check is the in-process
+// adapter. The oracle must be invoked after faults are healed and the
+// protocol has been given time to quiesce (and, for the in-process
+// form, from a cluster thread: it runs probe transactions).
+// Durability is checked by the caller running the oracle, bouncing
+// every site, and running it again: updates that survive that second
+// pass were genuinely on stable storage.
 package oracle
 
 import (
@@ -65,19 +70,25 @@ func (o Outcome) String() string {
 
 // Txn describes one workload transaction for the oracle.
 type Txn struct {
-	// Key is the key the transaction wrote at every site.
+	// Key is the key the transaction wrote at each of its write sites.
 	Key string
 	// Family identifies the transaction; zero when the workload never
 	// got far enough to have one (Skipped before Begin succeeded).
 	Family tid.FamilyID
 	// Outcome is what the client observed.
 	Outcome Outcome
+	// Sites lists the sites the transaction wrote Key at. Nil means
+	// every site in the cluster (the original all-sites workloads);
+	// a workload with read-only participants narrows the atomicity
+	// check to the actual write set.
+	Sites []camelot.SiteID
 }
 
 // Violation is one broken invariant.
 type Violation struct {
 	// Rule names the invariant: "atomicity", "client-view",
-	// "agreement", or "liveness".
+	// "agreement", "liveness", or "view" (a site could not be
+	// interrogated at all).
 	Rule string
 	// Txn is the workload index of the offending transaction, or -1
 	// for cluster-wide violations.
@@ -94,6 +105,22 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s: %s", v.Rule, v.Detail)
 }
 
+// SiteView is the oracle's window onto one site. The simulated
+// cluster answers in process; a real deployment answers over the
+// node's control connection. Errors mean the site could not be asked
+// (a dead control connection, say) — distinct from a negative answer,
+// and reported as "view" violations so a run cannot pass vacuously.
+type SiteView interface {
+	// HasKey reports whether the site's data server holds key.
+	HasKey(key string) (bool, error)
+	// OutcomeOf returns the site's resolved outcome for a family;
+	// OutcomeUnknown when it holds none (normal under presumed abort).
+	OutcomeOf(f tid.FamilyID) (wire.Outcome, error)
+	// Probe runs a fresh begin/write/abort transaction through the
+	// site and reports whether it wedged.
+	Probe() error
+}
+
 // Config tells the oracle how the workload laid out the cluster.
 type Config struct {
 	// Sites lists every site id, in order.
@@ -102,33 +129,62 @@ type Config struct {
 	ServerOf func(camelot.SiteID) string
 }
 
-// Check runs every invariant against the quiesced cluster and returns
-// the violations found (nil when the run was clean).
+// Check runs every invariant against the quiesced in-process cluster
+// and returns the violations found (nil when the run was clean). It
+// is CheckViews over clusterView adapters.
 func Check(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
+	views := make(map[camelot.SiteID]SiteView, len(cfg.Sites))
+	for _, id := range cfg.Sites {
+		views[id] = &clusterView{node: c.Node(id), server: cfg.ServerOf(id)}
+	}
+	return CheckViews(cfg.Sites, views, txns)
+}
+
+// CheckViews runs every invariant against one SiteView per site and
+// returns the violations found (nil when the run was clean).
+func CheckViews(sites []camelot.SiteID, views map[camelot.SiteID]SiteView, txns []Txn) []Violation {
 	var out []Violation
-	out = append(out, checkPresence(c, cfg, txns)...)
-	out = append(out, checkAgreement(c, cfg, txns)...)
-	out = append(out, checkLiveness(c, cfg)...)
+	out = append(out, checkPresence(sites, views, txns)...)
+	out = append(out, checkAgreement(sites, views, txns)...)
+	out = append(out, checkLiveness(sites, views)...)
 	return out
 }
 
+// writeSites returns the sites whose data servers the transaction
+// wrote: its declared write set, or every site when none was given.
+func writeSites(sites []camelot.SiteID, tx Txn) []camelot.SiteID {
+	if tx.Sites != nil {
+		return tx.Sites
+	}
+	return sites
+}
+
 // checkPresence verifies atomicity and the client's view: each
-// transaction's key is present everywhere or nowhere, and the count
-// matches the outcome the client observed.
-func checkPresence(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
+// transaction's key is present at all of its write sites or at none,
+// and the count matches the outcome the client observed.
+func checkPresence(sites []camelot.SiteID, views map[camelot.SiteID]SiteView, txns []Txn) []Violation {
 	var out []Violation
 	for i, tx := range txns {
 		present := 0
-		for _, id := range cfg.Sites {
-			srv := c.Node(id).Server(cfg.ServerOf(id))
-			if srv == nil {
+		writers := writeSites(sites, tx)
+		for _, id := range writers {
+			v := views[id]
+			if v == nil {
 				continue
 			}
-			if _, ok := srv.Peek(tx.Key); ok {
+			ok, err := v.HasKey(tx.Key)
+			if err != nil {
+				out = append(out, Violation{
+					Rule: "view", Txn: i,
+					Detail: fmt.Sprintf("site %d unreachable for key %q: %v", id, tx.Key, err),
+				})
+				continue
+			}
+			if ok {
 				present++
 			}
 		}
-		all := len(cfg.Sites)
+		all := len(writers)
 		if present != 0 && present != all {
 			out = append(out, Violation{
 				Rule: "atomicity", Txn: i,
@@ -162,7 +218,7 @@ func checkPresence(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
 // abort); a definite commit at one site against a definite abort at
 // another is the split-brain the commitment protocols exist to
 // prevent.
-func checkAgreement(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
+func checkAgreement(sites []camelot.SiteID, views map[camelot.SiteID]SiteView, txns []Txn) []Violation {
 	var out []Violation
 	for i, tx := range txns {
 		if tx.Family == 0 {
@@ -170,8 +226,20 @@ func checkAgreement(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
 		}
 		commits, aborts := 0, 0
 		var detail string
-		for _, id := range cfg.Sites {
-			switch c.Node(id).TM().OutcomeOf(tx.Family) {
+		for _, id := range sites {
+			v := views[id]
+			if v == nil {
+				continue
+			}
+			oc, err := v.OutcomeOf(tx.Family)
+			if err != nil {
+				out = append(out, Violation{
+					Rule: "view", Txn: i,
+					Detail: fmt.Sprintf("site %d unreachable for family %d: %v", id, tx.Family, err),
+				})
+				continue
+			}
+			switch oc {
 			case wire.OutcomeCommit:
 				commits++
 				detail += fmt.Sprintf(" site%d=commit", id)
@@ -193,24 +261,51 @@ func checkAgreement(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
 // checkLiveness probes each site with a fresh transaction: begin,
 // write a probe key at the local server, abort. A leaked lock or a
 // wedged manager turns the probe into an error.
-func checkLiveness(c *camelot.Cluster, cfg Config) []Violation {
+func checkLiveness(sites []camelot.SiteID, views map[camelot.SiteID]SiteView) []Violation {
 	var out []Violation
-	for _, id := range cfg.Sites {
-		tx, err := c.Node(id).Begin()
-		if err != nil {
-			out = append(out, Violation{
-				Rule: "liveness", Txn: -1,
-				Detail: fmt.Sprintf("site %d cannot begin after quiesce: %v", id, err),
-			})
+	for _, id := range sites {
+		v := views[id]
+		if v == nil {
 			continue
 		}
-		if err := tx.Write(cfg.ServerOf(id), "oracle-probe", []byte("x")); err != nil {
+		if err := v.Probe(); err != nil {
 			out = append(out, Violation{
 				Rule: "liveness", Txn: -1,
-				Detail: fmt.Sprintf("site %d: probe write blocked (leaked lock?): %v", id, err),
+				Detail: fmt.Sprintf("site %d %v", id, err),
 			})
 		}
-		tx.Abort() //nolint:errcheck // probe cleanup; the write above is the check
 	}
 	return out
+}
+
+// clusterView answers the oracle's questions for one in-process node.
+type clusterView struct {
+	node   *camelot.Node
+	server string
+}
+
+func (v *clusterView) HasKey(key string) (bool, error) {
+	srv := v.node.Server(v.server)
+	if srv == nil {
+		return false, nil
+	}
+	_, ok := srv.Peek(key)
+	return ok, nil
+}
+
+func (v *clusterView) OutcomeOf(f tid.FamilyID) (wire.Outcome, error) {
+	return v.node.TM().OutcomeOf(f), nil
+}
+
+func (v *clusterView) Probe() error {
+	tx, err := v.node.Begin()
+	if err != nil {
+		return fmt.Errorf("cannot begin after quiesce: %v", err)
+	}
+	if err := tx.Write(v.server, "oracle-probe", []byte("x")); err != nil {
+		tx.Abort() //nolint:errcheck // probe cleanup; the write is the check
+		return fmt.Errorf("probe write blocked (leaked lock?): %v", err)
+	}
+	tx.Abort() //nolint:errcheck // probe cleanup; the write above is the check
+	return nil
 }

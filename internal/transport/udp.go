@@ -6,8 +6,17 @@ import (
 	"sync"
 
 	"camelot/internal/tid"
+	"camelot/internal/trace"
 	"camelot/internal/wire"
 )
+
+// backlogCap bounds the datagrams a UDPPeer parks while no handler is
+// installed. Startup races between peers are the norm in a real
+// cluster — the socket must bind (so the address can be exchanged)
+// before the transaction manager that will consume its traffic
+// exists — so early arrivals are buffered rather than discarded, and
+// arrivals beyond the bound are counted as drops like any other loss.
+const backlogCap = 128
 
 // UDPPeer is a real-network Sender: transaction-manager datagrams are
 // marshaled with the wire codec and carried over UDP, with exactly
@@ -23,13 +32,18 @@ type UDPPeer struct {
 	self tid.SiteID
 	conn *net.UDPConn
 
-	mu      sync.Mutex
-	peers   map[tid.SiteID]*net.UDPAddr
-	handler Handler
-	closed  bool
-	sent    int
-	recv    int
-	dropped int
+	mu       sync.Mutex
+	peers    map[tid.SiteID]*net.UDPAddr
+	handler  Handler
+	backlog  []Datagram
+	closed   bool
+	sent     int
+	recv     int
+	dropped  int
+	oversize int
+	lastErr  error
+	tr       *trace.Collector
+	logf     func(format string, args ...any)
 }
 
 // NewUDPPeer binds a UDP socket for site self at listenAddr (for
@@ -56,7 +70,8 @@ func NewUDPPeer(self tid.SiteID, listenAddr string) (*UDPPeer, error) {
 // Addr returns the bound local address, for exchanging with peers.
 func (p *UDPPeer) Addr() string { return p.conn.LocalAddr().String() }
 
-// AddPeer registers the address of another site.
+// AddPeer registers the address of another site, replacing any
+// previous one (a site that restarted on a new port re-announces).
 func (p *UDPPeer) AddPeer(id tid.SiteID, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -68,19 +83,45 @@ func (p *UDPPeer) AddPeer(id tid.SiteID, addr string) error {
 	return nil
 }
 
-// SetHandler installs the inbound datagram handler.
-func (p *UDPPeer) SetHandler(h Handler) {
+// SetTrace installs an optional event collector; sends, receives, and
+// drops are recorded on its timeline. Call before traffic flows.
+func (p *UDPPeer) SetTrace(tr *trace.Collector) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.tr = tr
+}
+
+// SetLogf installs an optional diagnostic logger. Datagram loss is
+// normal and stays quiet, but losses that retry can never mask —
+// oversize messages, corrupt datagrams — are reported through it so a
+// deployment does not fail silently.
+func (p *UDPPeer) SetLogf(fn func(format string, args ...any)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.logf = fn
+}
+
+// SetHandler installs the inbound datagram handler and delivers any
+// datagrams that arrived before it existed, in arrival order.
+func (p *UDPPeer) SetHandler(h Handler) {
+	p.mu.Lock()
 	p.handler = h
+	parked := p.backlog
+	p.backlog = nil
+	p.mu.Unlock()
+	for _, d := range parked {
+		h(d)
+	}
 }
 
 // Send implements Sender. Non-*wire.Msg payloads and unknown peers
-// are dropped silently, matching datagram semantics.
+// are dropped (counted, and reported through the trace collector),
+// matching datagram semantics; oversize messages additionally record
+// an error retrievable via Err, because no retry can ever mask them.
 func (p *UDPPeer) Send(from, to tid.SiteID, payload any) {
 	msg, ok := payload.(*wire.Msg)
 	if !ok {
-		p.drop()
+		p.drop(from, to, payload, "non-wire payload")
 		return
 	}
 	// Fill in the addressing the simulated network carries out of
@@ -88,23 +129,12 @@ func (p *UDPPeer) Send(from, to tid.SiteID, payload any) {
 	m := *msg
 	m.From = from
 	m.To = to
-	buf := wire.Marshal(&m)
-
-	p.mu.Lock()
-	addr := p.peers[to]
-	closed := p.closed
-	p.mu.Unlock()
-	if addr == nil || closed {
-		p.drop()
+	buf, err := wire.MarshalDatagram(&m)
+	if err != nil {
+		p.oversizeDrop(from, to, &m, err)
 		return
 	}
-	if _, err := p.conn.WriteToUDP(buf, addr); err != nil {
-		p.drop()
-		return
-	}
-	p.mu.Lock()
-	p.sent++
-	p.mu.Unlock()
+	p.transmit(to, buf, &m)
 }
 
 // Multicast implements Sender. Loopback deployments have no real
@@ -112,16 +142,62 @@ func (p *UDPPeer) Send(from, to tid.SiteID, payload any) {
 // semantics that distinguish multicast in the simulator are a
 // property of the medium, not of this API.
 func (p *UDPPeer) Multicast(from tid.SiteID, tos []tid.SiteID, payload any) {
-	for _, to := range tos {
-		p.Send(from, to, payload)
-	}
+	p.fanout(from, tos, payload)
 }
 
 // SendAll implements Sender.
 func (p *UDPPeer) SendAll(from tid.SiteID, tos []tid.SiteID, payload any) {
-	for _, to := range tos {
-		p.Send(from, to, payload)
+	p.fanout(from, tos, payload)
+}
+
+// fanout sends one payload to every destination, marshaling once and
+// re-addressing the buffer per destination (wire.PatchTo) — these are
+// the coordinator's hottest sends (§4.2), and re-encoding an
+// identical message per subordinate was pure waste.
+func (p *UDPPeer) fanout(from tid.SiteID, tos []tid.SiteID, payload any) {
+	msg, ok := payload.(*wire.Msg)
+	if !ok {
+		for _, to := range tos {
+			p.drop(from, to, payload, "non-wire payload")
+		}
+		return
 	}
+	m := *msg
+	m.From = from
+	m.To = 0
+	buf, err := wire.MarshalDatagram(&m)
+	if err != nil {
+		for _, to := range tos {
+			p.oversizeDrop(from, to, &m, err)
+		}
+		return
+	}
+	for _, to := range tos {
+		wire.PatchTo(buf, to)
+		m.To = to
+		p.transmit(to, buf, &m)
+	}
+}
+
+// transmit puts one already marshaled datagram on the wire.
+func (p *UDPPeer) transmit(to tid.SiteID, buf []byte, msg *wire.Msg) {
+	p.mu.Lock()
+	addr := p.peers[to]
+	closed := p.closed
+	p.mu.Unlock()
+	if addr == nil || closed {
+		p.drop(msg.From, to, msg, "no address for peer")
+		return
+	}
+	if _, err := p.conn.WriteToUDP(buf, addr); err != nil {
+		p.drop(msg.From, to, msg, err.Error())
+		return
+	}
+	p.mu.Lock()
+	p.sent++
+	tr := p.tr
+	p.mu.Unlock()
+	tr.MsgSend(msg.From, to, msg)
 }
 
 // Stats reports datagrams sent, received, and dropped at this peer.
@@ -129,6 +205,23 @@ func (p *UDPPeer) Stats() (sent, received, dropped int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.sent, p.recv, p.dropped
+}
+
+// Oversize reports how many sends were refused because the message
+// exceeded wire.MaxDatagram. These are included in the drop count but
+// deserve their own ledger: they are a protocol bug, not weather.
+func (p *UDPPeer) Oversize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.oversize
+}
+
+// Err returns the most recent send error that loss-masking cannot
+// recover from (currently only wire.ErrOversize), or nil.
+func (p *UDPPeer) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastErr
 }
 
 // Close shuts the socket down; the read loop exits.
@@ -139,31 +232,76 @@ func (p *UDPPeer) Close() error {
 	return p.conn.Close()
 }
 
-func (p *UDPPeer) drop() {
+// drop counts one lost datagram and reports it to the trace timeline.
+func (p *UDPPeer) drop(from, to tid.SiteID, payload any, why string) {
 	p.mu.Lock()
 	p.dropped++
+	tr, logf := p.tr, p.logf
 	p.mu.Unlock()
+	tr.MsgDrop(from, to, payload)
+	if logf != nil {
+		logf("transport: site%d: dropped datagram to site%d: %s", p.self, to, why)
+	}
+}
+
+// oversizeDrop is the loud path for a message that can never fit one
+// datagram: counted separately, recorded as a sticky error, and
+// always logged — a silent drop here would be unmaskable loss.
+func (p *UDPPeer) oversizeDrop(from, to tid.SiteID, msg *wire.Msg, err error) {
+	p.mu.Lock()
+	p.dropped++
+	p.oversize++
+	p.lastErr = err
+	tr, logf := p.tr, p.logf
+	p.mu.Unlock()
+	tr.MsgDrop(from, to, msg)
+	if logf != nil {
+		logf("transport: site%d: refused send to site%d: %v", p.self, to, err)
+	}
 }
 
 func (p *UDPPeer) readLoop() {
-	buf := make([]byte, 64*1024)
+	// One byte beyond the legal maximum so truncation is detectable:
+	// a read that fills the whole buffer did not fit and cannot be a
+	// legal message.
+	buf := make([]byte, wire.MaxDatagram+1)
 	for {
 		n, _, err := p.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
+		if n > wire.MaxDatagram {
+			p.drop(0, p.self, nil, "datagram exceeds wire.MaxDatagram")
+			continue
+		}
 		msg, err := wire.Unmarshal(buf[:n])
 		if err != nil {
-			p.drop()
-			continue // corrupt datagrams vanish, like any other loss
+			p.drop(0, p.self, nil, fmt.Sprintf("corrupt datagram: %v", err))
+			continue
 		}
+		d := Datagram{From: msg.From, To: p.self, Payload: msg}
 		p.mu.Lock()
 		h := p.handler
-		p.recv++
-		p.mu.Unlock()
-		if h != nil {
-			h(Datagram{From: msg.From, To: p.self, Payload: msg})
+		if h == nil {
+			// No handler yet: park the datagram until SetHandler. An
+			// overflowing backlog is loss, and is counted as such —
+			// the old behavior (count as received, deliver to no one)
+			// was a silent-loss bug.
+			if len(p.backlog) < backlogCap {
+				p.backlog = append(p.backlog, d)
+				p.recv++
+				p.mu.Unlock()
+				continue
+			}
+			p.mu.Unlock()
+			p.drop(msg.From, p.self, msg, "no handler and backlog full")
+			continue
 		}
+		p.recv++
+		tr := p.tr
+		p.mu.Unlock()
+		tr.MsgRecv(p.self, msg.From, msg)
+		h(d)
 	}
 }
 

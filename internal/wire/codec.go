@@ -12,7 +12,20 @@ import (
 var (
 	ErrShort   = errors.New("wire: truncated message")
 	ErrBadKind = errors.New("wire: invalid message kind")
+	// ErrOversize reports a message whose encoding exceeds MaxDatagram
+	// and therefore cannot be carried in one UDP datagram. The sender
+	// must surface it loudly: an oversize message silently truncated in
+	// flight arrives as a corrupt datagram and "vanishes" as ordinary
+	// loss, which retry can never mask.
+	ErrOversize = errors.New("wire: message exceeds MaxDatagram")
 )
+
+// MaxDatagram is the largest legal encoded message: the maximum UDP
+// payload over IPv4 (65535 - 20 IP - 8 UDP). Anything larger cannot
+// leave the sending socket in one piece, so the limit is enforced at
+// marshal/send time where the error can still name the message,
+// rather than discovered as silent truncation at the receiver.
+const MaxDatagram = 65507
 
 // maxSlice bounds decoded slice lengths so a corrupt length prefix
 // cannot force a huge allocation.
@@ -48,6 +61,31 @@ func Marshal(m *Msg) []byte {
 		b = be64(b, uint64(t.Seq))
 	}
 	return b
+}
+
+// MarshalDatagram encodes m and enforces the MaxDatagram limit: the
+// encoding is returned only if it fits one UDP datagram, otherwise
+// ErrOversize with the offending size. Real-network senders must use
+// this instead of Marshal.
+func MarshalDatagram(m *Msg) ([]byte, error) {
+	b := Marshal(m)
+	if len(b) > MaxDatagram {
+		return nil, fmt.Errorf("%w: %s is %d bytes (limit %d)", ErrOversize, m.Kind, len(b), MaxDatagram)
+	}
+	return b, nil
+}
+
+// toOffset is the byte offset of the To field in the fixed header laid
+// down by Marshal: Kind (1) + TID (16) + Parent (16) + From (4).
+const toOffset = 1 + 16 + 16 + 4
+
+// PatchTo rewrites the To field of an already marshaled message in
+// place. A fan-out sender marshals once and re-addresses the buffer
+// per destination instead of re-encoding the identical payload — the
+// coordinator's prepare/replicate/outcome sends are its hottest path
+// (§4.2).
+func PatchTo(buf []byte, to tid.SiteID) {
+	binary.BigEndian.PutUint32(buf[toOffset:], uint32(to))
 }
 
 // Unmarshal decodes a message produced by Marshal.
