@@ -1,12 +1,13 @@
 # Build and verification entry points. `make check` is the gate a
 # change must pass before merging: formatting, vet, a full build, the
 # camelot-lint determinism suite, the entire test suite under the race
-# detector, a short pass over the fault-injection torture suite, and a
-# bounded systematic chaos sweep for both commitment protocols.
+# detector, a short pass over the fault-injection torture suite, a
+# bounded systematic chaos sweep for the commitment protocols, and the
+# Paxos Commit conformance gate.
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race torture chaos golden bench cluster
+.PHONY: all build test check fmt vet lint race torture chaos paxos golden bench cluster
 
 all: build
 
@@ -49,6 +50,16 @@ chaos:
 	$(GO) run ./cmd/camelot-chaos -points 200
 	$(GO) run ./cmd/camelot-chaos -points 200 -nonblocking
 
+# The Paxos Commit gate (DESIGN.md §10): the budget-conformance suite
+# pinning the Gray–Lamport message/force table, the chaos sweep over
+# acceptor forces and 2b datagrams, the non-blocking-under-any-crash
+# regression, and the real-process coordinator-kill cluster smoke.
+paxos:
+	$(GO) test ./camelot -run 'TestProtocolBudgetTable|TestPaxos'
+	$(GO) test ./internal/chaos -run TestPaxos
+	$(GO) run ./cmd/camelot-chaos -points 200 -protocol paxos
+	$(GO) test ./cmd/camelot-cluster -run TestClusterPaxosSmoke
+
 # Regenerate the camelot-trace golden files after an intended change
 # to the event schema or the simulation timeline. Lints first: goldens
 # regenerated from a tree that breaks the determinism rules would bake
@@ -60,8 +71,8 @@ golden: lint
 # every simulated table plus the host-dependent real-runtime (R1) and
 # real-network (R2/R3) experiments. CI archives the file per commit.
 bench:
-	$(GO) run ./cmd/camelot-bench -quick -json -realtime -realnet > BENCH_5.json
-	@echo "wrote BENCH_5.json"
+	$(GO) run ./cmd/camelot-bench -quick -json -realtime -realnet > BENCH_6.json
+	@echo "wrote BENCH_6.json"
 
 # A real multi-process cluster on loopback: spawn camelot-node
 # daemons, run the seeded distributed workload with a mid-run SIGKILL
@@ -69,5 +80,5 @@ bench:
 cluster:
 	$(GO) run ./cmd/camelot-cluster -nodes 3 -txns 200 -seed 1
 
-check: fmt vet build lint race torture chaos
+check: fmt vet build lint race torture chaos paxos
 	@echo "check: OK"

@@ -78,6 +78,11 @@ func recoverSite(id tid.SiteID, log *wal.Log, pages *diskman.PageStore, tm *core
 			srv.Reacquire(d.TID, ups)
 			parts = append(parts, srv)
 		}
+		if d.Paxos {
+			tm.RestorePaxos(d.TID, d.Coordinator, d.Sites, d.Acceptors,
+				d.Promised, d.Accepted, d.AccForced, d.Prepared, parts)
+			continue
+		}
 		if d.NonBlocking && d.TID.Family.Origin() == id {
 			tm.RestoreNBCoordinator(d.TID, d.Sites, d.CommitQuorum, d.AbortQuorum,
 				d.Replicated, d.Votes, parts)

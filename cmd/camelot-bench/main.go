@@ -7,8 +7,8 @@
 //
 //	camelot-bench [-quick] [-json] [-realtime] [-realnet] [-only <experiment>]
 //
-// Experiments: table1 table2 table3 figure1 figure2 figure3 figure4
-// figure5 rpc multicast contention ablations realtime realnet
+// Experiments: table1 table2 table3 figure1 figure2 figure3 three-way
+// figure4 figure5 rpc multicast contention ablations realtime realnet
 //
 // -json emits the camelot-bench/v1 machine-readable report instead of
 // text, so successive commits can archive BENCH_*.json files and
@@ -119,6 +119,8 @@ func main() {
 		fmt.Fprintln(w, exp.Figure2(paper, trials))
 	case "figure3":
 		fmt.Fprintln(w, exp.Figure3(paper, trials))
+	case "three-way":
+		fmt.Fprintln(w, exp.ThreeWayCommit(paper, trials))
 	case "figure4":
 		fmt.Fprintln(w, exp.Figure4(vax))
 	case "figure5":

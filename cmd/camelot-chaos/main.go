@@ -12,8 +12,8 @@
 //
 // Usage:
 //
-//	camelot-chaos [-sites N] [-nonblocking] [-seed S] [-txns T]
-//	              [-points MAX] [-json] [-v]
+//	camelot-chaos [-sites N] [-protocol 2pc|nb|paxos] [-seed S]
+//	              [-txns T] [-points MAX] [-json] [-v]
 //	camelot-chaos -repro file.json
 //
 // With -repro, the named chaos/v1 schedule is replayed instead of
@@ -33,6 +33,7 @@ import (
 type options struct {
 	sites       int
 	nonblocking bool
+	protocol    string
 	seed        int64
 	txns        int
 	points      int
@@ -45,6 +46,7 @@ func main() {
 	var opts options
 	flag.IntVar(&opts.sites, "sites", 3, "number of sites (coordinator is site 1)")
 	flag.BoolVar(&opts.nonblocking, "nonblocking", false, "use the non-blocking commitment protocol")
+	flag.StringVar(&opts.protocol, "protocol", "", "commit protocol: 2pc, nb, or paxos (overrides -nonblocking)")
 	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
 	flag.IntVar(&opts.txns, "txns", 12, "workload transactions per run")
 	flag.IntVar(&opts.points, "points", 0, "max injection points to explore (0 = all)")
@@ -74,9 +76,15 @@ func run(opts options) (out string, failed bool, err error) {
 	if opts.verbose {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+	switch opts.protocol {
+	case "", "2pc", "nb", "paxos":
+	default:
+		return "", false, fmt.Errorf("unknown -protocol %q (want 2pc, nb, or paxos)", opts.protocol)
+	}
 	rep, err := chaos.Sweep(chaos.Options{
 		Sites:       opts.sites,
 		NonBlocking: opts.nonblocking,
+		Protocol:    opts.protocol,
 		Seed:        opts.seed,
 		Txns:        opts.txns,
 		MaxPoints:   opts.points,
@@ -133,6 +141,14 @@ func renderReport(rep *chaos.Report) string {
 	protocol := "two-phase"
 	if rep.NonBlocking {
 		protocol = "non-blocking"
+	}
+	switch rep.Protocol {
+	case "2pc":
+		protocol = "two-phase"
+	case "nb":
+		protocol = "non-blocking"
+	case "paxos":
+		protocol = "paxos F=1"
 	}
 	out := fmt.Sprintf("chaos sweep: %s, seed %d, %d sites, %d txns\n",
 		protocol, rep.Seed, rep.Sites, rep.Txns)

@@ -1,13 +1,15 @@
 // Command camelot-cluster deploys and torments a real multi-process
 // Camelot cluster: it spawns one camelot-node per site on loopback,
 // drives a seeded distributed-transaction workload through their
-// control ports — two-phase and non-blocking commits, read-only
-// participants, randomized write sets — SIGKILLs a subordinate
-// mid-run, restarts it against its surviving write-ahead log, and
-// then checks the recovery oracle's invariants (atomicity, client
-// view, outcome agreement, liveness) over the control plane. With
-// -bounce it finally SIGKILLs and restarts every node and checks
-// again: updates that survive that pass were genuinely on disk.
+// control ports — two-phase, non-blocking, and Paxos commits,
+// read-only participants, randomized write sets — SIGKILLs a
+// subordinate mid-run (or, with -kill-mid-commit, a coordinator with
+// its own commit in flight), restarts it against its surviving
+// write-ahead log, and then checks the recovery oracle's invariants
+// (atomicity, client view, outcome agreement, liveness) over the
+// control plane. With -bounce it finally SIGKILLs and restarts every
+// node and checks again: updates that survive that pass were
+// genuinely on disk.
 //
 // This is the chaos explorer's discipline applied to real processes:
 // same invariants, same oracle, but real UDP loss-and-reorder, real
@@ -45,9 +47,11 @@ func main() {
 	flag.IntVar(&cfg.Txns, "txns", 200, "workload transactions")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "workload seed")
 	flag.StringVar(&cfg.NodeBin, "node", "", "camelot-node binary (built with 'go build' when empty)")
+	flag.StringVar(&cfg.Protocol, "protocol", "", "commit protocol for every transaction: 2pc, nb, or paxos (empty: per-txn random mix)")
 	flag.BoolVar(&cfg.JSON, "json", false, "emit a JSON report on stdout")
 	flag.BoolVar(&cfg.Bounce, "bounce", true, "after the run, kill and restart every node and re-check durability")
 	flag.BoolVar(&cfg.Kill, "kill", true, "SIGKILL a subordinate mid-run and restart it later")
+	flag.BoolVar(&cfg.KillMidCommit, "kill-mid-commit", false, "make the killed site the coordinator and SIGKILL it during its own commit")
 	flag.DurationVar(&cfg.Retry, "retry", 50*time.Millisecond, "node retry interval")
 	flag.Parse()
 
@@ -69,14 +73,23 @@ func main() {
 }
 
 type clusterConfig struct {
-	Nodes   int
-	Txns    int
-	Seed    int64
-	NodeBin string
-	JSON    bool
-	Bounce  bool
-	Kill    bool
-	Retry   time.Duration
+	Nodes int
+	Txns  int
+	Seed  int64
+	// Protocol pins every commit to one protocol ("2pc", "nb",
+	// "paxos"); empty keeps the legacy per-transaction random mix.
+	Protocol string
+	NodeBin  string
+	JSON     bool
+	Bounce   bool
+	Kill     bool
+	// KillMidCommit aims the SIGKILL at a coordinator in flight: the
+	// victim site coordinates an all-site transaction and dies a
+	// moment after its commit call is issued. The survivors must then
+	// resolve the transaction on their own — the non-blocking property
+	// Paxos Commit exists for.
+	KillMidCommit bool
+	Retry         time.Duration
 }
 
 // report is the run's outcome summary.
@@ -85,6 +98,7 @@ type report struct {
 	Nodes      int      `json:"nodes"`
 	Txns       int      `json:"txns"`
 	Seed       int64    `json:"seed"`
+	Protocol   string   `json:"protocol,omitempty"`
 	Committed  int      `json:"committed"`
 	Aborted    int      `json:"aborted"`
 	Unknown    int      `json:"unknown"`
@@ -305,12 +319,23 @@ func runCluster(cfg clusterConfig) (*report, error) {
 	victim := sites[len(sites)-1]
 	killAt, restartAt := cfg.Txns/3, 2*cfg.Txns/3
 	rep := &report{Schema: ReportSchema, Nodes: cfg.Nodes, Txns: cfg.Txns, Seed: cfg.Seed,
-		Killed: int(victim), Violations: []string{}}
+		Protocol: cfg.Protocol, Killed: int(victim), Violations: []string{}}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	txns := make([]oracle.Txn, cfg.Txns)
 	for i := 0; i < cfg.Txns; i++ {
 		if cfg.Kill && i == killAt {
+			if cfg.KillMidCommit {
+				// The victim coordinates an all-site transaction and is
+				// SIGKILLed with its commit in flight; the survivors
+				// must resolve it — and release its locks — before the
+				// coordinator ever comes back.
+				txns[i] = runTxnKillCoordinator(i, sites, procs, cfg.Protocol, victim)
+				time.Sleep(20 * cfg.Retry)
+				rep.Violations = append(rep.Violations,
+					survivorsResolved(sites, procs, txns[i])...)
+				continue
+			}
 			procs[victim].kill()
 		}
 		if cfg.Kill && i == restartAt {
@@ -321,7 +346,7 @@ func runCluster(cfg clusterConfig) (*report, error) {
 				return nil, err
 			}
 		}
-		txns[i] = runTxn(rng, i, sites, procs)
+		txns[i] = runTxn(rng, i, sites, procs, cfg.Protocol)
 	}
 
 	// Quiesce: let outcome retries, presumed-abort inquiries, and ack
@@ -390,7 +415,7 @@ func runCluster(cfg clusterConfig) (*report, error) {
 // random write set (the txn's key written at each member), sometimes
 // a read-only participant (exercising the read-only vote), sometimes
 // the non-blocking protocol. Returns the oracle's record of it.
-func runTxn(rng *rand.Rand, i int, sites []camelot.SiteID, procs map[camelot.SiteID]*proc) oracle.Txn {
+func runTxn(rng *rand.Rand, i int, sites []camelot.SiteID, procs map[camelot.SiteID]*proc, protocol string) oracle.Txn {
 	key := fmt.Sprintf("txn%04d", i)
 
 	// Draw the schedule before consulting liveness, so the random
@@ -474,7 +499,11 @@ func runTxn(rng *rand.Rand, i int, sites []camelot.SiteID, procs map[camelot.Sit
 			return tx
 		}
 	}
-	_, err = procs[coord].client.Commit(t, nonBlocking)
+	if protocol != "" {
+		_, err = procs[coord].client.CommitWith(t, protocol)
+	} else {
+		_, err = procs[coord].client.Commit(t, nonBlocking)
+	}
 	switch {
 	case err == nil:
 		tx.Outcome = oracle.Committed
@@ -484,4 +513,97 @@ func runTxn(rng *rand.Rand, i int, sites []camelot.SiteID, procs map[camelot.Sit
 		tx.Outcome = oracle.Unknown
 	}
 	return tx
+}
+
+// runTxnKillCoordinator drives the mid-commit coordinator kill: coord
+// begins an all-site update transaction, its commit is issued on a
+// separate goroutine, and the process is SIGKILLed a moment later —
+// with the commit protocol somewhere between the first prepare and
+// the last ack. The client's view is Unknown unless the commit call
+// won the race.
+func runTxnKillCoordinator(i int, sites []camelot.SiteID, procs map[camelot.SiteID]*proc,
+	protocol string, coord camelot.SiteID) oracle.Txn {
+
+	key := fmt.Sprintf("txn%04d", i)
+	tx := oracle.Txn{Key: key, Outcome: oracle.Skipped, Sites: sites}
+	t, err := procs[coord].client.Begin()
+	if err != nil {
+		return tx
+	}
+	tx.Family = t.Family
+	var remote []camelot.SiteID
+	for _, id := range sites {
+		if err := procs[id].client.Write("store", t, key, []byte(fmt.Sprintf("v%d@%d", i, id))); err != nil {
+			procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+			tx.Outcome = oracle.Aborted
+			return tx
+		}
+		if id != coord {
+			remote = append(remote, id)
+		}
+	}
+	if err := procs[coord].client.AddSites(t, remote); err != nil {
+		procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+		tx.Outcome = oracle.Aborted
+		return tx
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := procs[coord].client.CommitWith(t, protocol)
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	procs[coord].kill()
+	switch err := <-done; {
+	case err == nil:
+		tx.Outcome = oracle.Committed
+	case errors.Is(err, ctl.ErrAborted):
+		tx.Outcome = oracle.Aborted
+	default:
+		tx.Outcome = oracle.Unknown
+	}
+	return tx
+}
+
+// survivorsResolved checks, while the killed coordinator is still
+// down, that every surviving site has resolved its transaction: the
+// key's locks must be re-acquirable (a blocked protocol would leak
+// them) and the survivors must agree on whether the key is present.
+// Violations are returned as strings for the report.
+func survivorsResolved(sites []camelot.SiteID, procs map[camelot.SiteID]*proc, tx oracle.Txn) []string {
+	var out []string
+	present := make(map[camelot.SiteID]bool)
+	var survivors []camelot.SiteID
+	for _, id := range sites {
+		p := procs[id]
+		if p.down {
+			continue
+		}
+		survivors = append(survivors, id)
+		// Re-acquire the transaction's own lock under a throwaway
+		// transaction: if the commit protocol is blocked on the dead
+		// coordinator, this write blocks too.
+		if pt, err := p.client.Begin(); err != nil {
+			out = append(out, fmt.Sprintf("non-blocking: site %d: begin: %v", id, err))
+		} else {
+			if err := p.client.Write("store", pt, tx.Key, []byte("probe")); err != nil {
+				out = append(out, fmt.Sprintf("non-blocking: site %d: %q still locked with coordinator down: %v", id, tx.Key, err))
+			}
+			p.client.Abort(pt) //nolint:errcheck // probe cleanup
+		}
+		_, ok, err := p.client.Peek("store", tx.Key)
+		if err != nil {
+			out = append(out, fmt.Sprintf("non-blocking: site %d: peek: %v", id, err))
+			continue
+		}
+		present[id] = ok
+	}
+	for _, id := range survivors[1:] {
+		if present[id] != present[survivors[0]] {
+			out = append(out, fmt.Sprintf("non-blocking: survivors disagree on %q with coordinator down: site %d=%v, site %d=%v",
+				tx.Key, survivors[0], present[survivors[0]], id, present[id]))
+		}
+	}
+	return out
 }

@@ -52,3 +52,48 @@ func TestClusterSmoke(t *testing.T) {
 	t.Logf("outcomes: %d committed, %d aborted, %d unknown, %d skipped; transport: %d sent, %d recv, %d dropped",
 		rep.Committed, rep.Aborted, rep.Unknown, rep.Skipped, rep.Sent, rep.Recv, rep.Dropped)
 }
+
+// TestClusterPaxosSmoke is the real-process acceptance test for Paxos
+// Commit's headline property: every commit runs -protocol=paxos at
+// F=1, and the fault schedule SIGKILLs the coordinator of an all-site
+// transaction while its own commit is in flight. The surviving
+// acceptor quorum must resolve the transaction — locks released,
+// survivors agreeing — before the coordinator returns, and the oracle
+// must find nothing after its WAL-replay restart and the full
+// durability bounce.
+func TestClusterPaxosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "camelot-node")
+	build := exec.Command("go", "build", "-o", bin, "camelot/cmd/camelot-node")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building camelot-node: %v\n%s", err, out)
+	}
+
+	rep, err := runCluster(clusterConfig{
+		Nodes:         3,
+		Txns:          40,
+		Seed:          2,
+		Protocol:      "paxos",
+		NodeBin:       bin,
+		Bounce:        true,
+		Kill:          true,
+		KillMidCommit: true,
+		Retry:         25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	if rep.Committed == 0 {
+		t.Error("no transaction committed; the workload exercised nothing")
+	}
+	if rep.Sent == 0 || rep.Recv == 0 {
+		t.Errorf("no real datagrams flowed (sent=%d recv=%d)", rep.Sent, rep.Recv)
+	}
+	t.Logf("outcomes: %d committed, %d aborted, %d unknown, %d skipped; transport: %d sent, %d recv, %d dropped",
+		rep.Committed, rep.Aborted, rep.Unknown, rep.Skipped, rep.Sent, rep.Recv, rep.Dropped)
+}

@@ -31,19 +31,26 @@ import (
 
 func main() {
 	var (
-		site    = flag.Uint("site", 0, "site id (nonzero, unique per deployment)")
-		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address for transaction-protocol datagrams")
-		control = flag.String("control", "127.0.0.1:0", "TCP listen address for the control plane")
-		walPath = flag.String("wal", "", "write-ahead log file (required)")
-		server  = flag.String("server", "store", "data server name")
-		retry   = flag.Duration("retry", 50*time.Millisecond, "coordinator retry interval (masks datagram loss)")
+		site     = flag.Uint("site", 0, "site id (nonzero, unique per deployment)")
+		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address for transaction-protocol datagrams")
+		control  = flag.String("control", "127.0.0.1:0", "TCP listen address for the control plane")
+		walPath  = flag.String("wal", "", "write-ahead log file (required)")
+		server   = flag.String("server", "store", "data server name")
+		retry    = flag.Duration("retry", 50*time.Millisecond, "coordinator retry interval (masks datagram loss)")
+		protocol = flag.String("protocol", "", "default commit protocol: 2pc, nb, or paxos (empty: per-request flags decide)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("camelot-node[site%d]: ", *site))
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
 	if *site == 0 || *walPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: camelot-node -site N -wal PATH [-listen ADDR] [-control ADDR]")
+		fmt.Fprintln(os.Stderr, "usage: camelot-node -site N -wal PATH [-listen ADDR] [-control ADDR] [-protocol 2pc|nb|paxos]")
+		os.Exit(2)
+	}
+	switch *protocol {
+	case "", "2pc", "nb", "paxos":
+	default:
+		fmt.Fprintf(os.Stderr, "camelot-node: unknown -protocol %q (want 2pc, nb, or paxos)\n", *protocol)
 		os.Exit(2)
 	}
 
@@ -71,6 +78,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("control listen: %v", err)
 	}
+	// Set before the READY line publishes the address: no driver can
+	// issue a commit until it has parsed that line.
+	srv.SetDefaultProtocol(*protocol)
 
 	// The driver parses this line; keep its shape stable.
 	fmt.Printf("READY site=%d udp=%s ctl=%s\n", *site, node.Addr(), srv.Addr())

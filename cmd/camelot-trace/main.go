@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	camelot-trace [-sites N] [-nonblocking] [-seed S] [-json]
+//	camelot-trace [-sites N] [-protocol 2pc|nb|paxos] [-seed S] [-json]
 package main
 
 import (
@@ -28,14 +28,32 @@ import (
 type options struct {
 	sites       int
 	nonblocking bool
+	protocol    string
 	seed        int64
 	jsonOut     bool
+}
+
+// commitOptions maps the selected protocol to per-commit options.
+// Paxos runs at F=1 so the trace shows the replicated acceptor set.
+func (o options) commitOptions() (camelot.Options, error) {
+	switch o.protocol {
+	case "paxos":
+		return camelot.Options{Paxos: true, PaxosF: 1}, nil
+	case "nb":
+		return camelot.Options{NonBlocking: true}, nil
+	case "2pc":
+		return camelot.Options{}, nil
+	case "":
+		return camelot.Options{NonBlocking: o.nonblocking}, nil
+	}
+	return camelot.Options{}, fmt.Errorf("unknown -protocol %q (want 2pc, nb, or paxos)", o.protocol)
 }
 
 func main() {
 	var opts options
 	flag.IntVar(&opts.sites, "sites", 3, "number of sites (coordinator + sites-1 subordinates)")
 	flag.BoolVar(&opts.nonblocking, "nonblocking", false, "use the non-blocking three-phase protocol")
+	flag.StringVar(&opts.protocol, "protocol", "", "commit protocol: 2pc, nb, or paxos (overrides -nonblocking)")
 	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed (same seed, same timeline)")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit a machine-readable JSON report")
 	flag.Parse()
@@ -53,6 +71,10 @@ func main() {
 func run(opts options) (string, error) {
 	if opts.sites < 1 {
 		return "", fmt.Errorf("-sites must be at least 1, got %d", opts.sites)
+	}
+	copts, err := opts.commitOptions()
+	if err != nil {
+		return "", err
 	}
 
 	k := sim.New(opts.seed)
@@ -88,7 +110,7 @@ func run(opts options) (string, error) {
 				return
 			}
 		}
-		if err := tx.CommitWith(camelot.Options{NonBlocking: opts.nonblocking}); err != nil {
+		if err := tx.CommitWith(copts); err != nil {
 			txErr = err
 			k.Stop()
 			return
@@ -111,8 +133,11 @@ func run(opts options) (string, error) {
 	return renderText(opts, c, txid, commit), nil
 }
 
-func protocolName(nonblocking bool) string {
-	if nonblocking {
+func protocolName(opts options) string {
+	if opts.protocol == "paxos" {
+		return "paxos"
+	}
+	if opts.protocol == "nb" || (opts.protocol == "" && opts.nonblocking) {
 		return "non-blocking"
 	}
 	return "two-phase"
@@ -124,7 +149,7 @@ func renderText(opts options, c *camelot.Cluster, txid camelot.TID, commit time.
 	tr := c.Trace()
 
 	fmt.Fprintf(&sb, "\nTraced commit: %d site(s), %s protocol, seed %d\n",
-		opts.sites, protocolName(opts.nonblocking), opts.seed)
+		opts.sites, protocolName(opts), opts.seed)
 	fmt.Fprintf(&sb, "  transaction %s committed in %.1f ms\n\n", txid, ms(commit))
 
 	sb.WriteString("Event timeline:\n")
@@ -165,7 +190,7 @@ func renderText(opts options, c *camelot.Cluster, txid camelot.TID, commit time.
 // renderJSON emits the machine-readable report; the schema lives in
 // internal/trace (trace.Report) so other tools can decode it.
 func renderJSON(opts options, c *camelot.Cluster, txid camelot.TID, commit time.Duration) (string, error) {
-	rep := c.Trace().BuildReport(opts.sites, protocolName(opts.nonblocking), opts.seed, txid, commit)
+	rep := c.Trace().BuildReport(opts.sites, protocolName(opts), opts.seed, txid, commit)
 	b, err := rep.EncodeJSON()
 	if err != nil {
 		return "", err

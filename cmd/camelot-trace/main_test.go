@@ -21,6 +21,7 @@ func TestJSONGolden(t *testing.T) {
 	}{
 		{"trace-2pc.json", options{sites: 3, seed: 1, jsonOut: true}},
 		{"trace-nb.json", options{sites: 3, nonblocking: true, seed: 1, jsonOut: true}},
+		{"trace-paxos.json", options{sites: 3, protocol: "paxos", seed: 1, jsonOut: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			got, err := run(tc.opts)
@@ -72,5 +73,29 @@ func TestTextReport(t *testing.T) {
 func TestRunRejectsBadSiteCount(t *testing.T) {
 	if _, err := run(options{sites: 0, seed: 1}); err == nil {
 		t.Error("run with -sites 0 succeeded, want error")
+	}
+}
+
+// TestRunRejectsUnknownProtocol covers -protocol validation.
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	if _, err := run(options{sites: 3, seed: 1, protocol: "3pc"}); err == nil {
+		t.Error("run with -protocol 3pc succeeded, want error")
+	}
+}
+
+// TestPaxosReplayDeterministic pins replayability itself: two runs of
+// the paxos trace under the same seed must agree byte for byte.
+func TestPaxosReplayDeterministic(t *testing.T) {
+	opts := options{sites: 3, protocol: "paxos", seed: 7, jsonOut: true}
+	a, err := run(opts)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := run(opts)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a != b {
+		t.Error("same seed produced different paxos traces")
 	}
 }

@@ -59,6 +59,9 @@ func Run(s Schedule) (*Result, error) {
 	if s.Sites < 1 || s.Txns < 1 {
 		return nil, fmt.Errorf("chaos: schedule needs sites and txns")
 	}
+	if !validProtocol(s.Protocol) {
+		return nil, fmt.Errorf("chaos: unknown protocol %q", s.Protocol)
+	}
 	for _, f := range s.Faults {
 		if err := validFault(f); err != nil {
 			return nil, err
@@ -86,6 +89,21 @@ type engine struct {
 }
 
 func srvName(id camelot.SiteID) string { return fmt.Sprintf("srv%d", id) }
+
+// commitOptions maps the schedule's protocol selection to per-commit
+// options. Paxos runs at F=1, so the sweep's single-site crashes are
+// exactly the faults it must mask.
+func (s Schedule) commitOptions() camelot.Options {
+	switch s.Protocol {
+	case ProtocolPaxos:
+		return camelot.Options{Paxos: true, PaxosF: 1}
+	case ProtocolNB:
+		return camelot.Options{NonBlocking: true}
+	case Protocol2PC:
+		return camelot.Options{}
+	}
+	return camelot.Options{NonBlocking: s.NonBlocking}
+}
 
 // workloadConfig mirrors the functional-test configuration: the fast
 // cost model with short timeouts, so a sweep of hundreds of runs
@@ -246,7 +264,7 @@ func (e *engine) workload(txns []oracle.Txn) {
 			tx.Abort() //nolint:errcheck // outcome recorded as aborted either way
 			txns[i].Outcome = oracle.Aborted
 		} else {
-			err := tx.CommitWith(camelot.Options{NonBlocking: e.sched.NonBlocking})
+			err := tx.CommitWith(e.sched.commitOptions())
 			switch {
 			case err == nil:
 				txns[i].Outcome = oracle.Committed

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// paxosPilot runs the fault-free Paxos schedule once.
+func paxosPilot(t *testing.T) *Result {
+	t.Helper()
+	r, err := Run(Schedule{Version: Version, Seed: 1, Sites: 3, Protocol: ProtocolPaxos, Txns: 8})
+	if err != nil {
+		t.Fatalf("pilot: %v", err)
+	}
+	if r.Failed() {
+		t.Fatalf("fault-free paxos pilot failed: %v %v", r.Violations, r.Deadlock)
+	}
+	return r
+}
+
+// TestPaxosPilotEnumeratesAcceptorPoints: the injection-point
+// enumeration must reach the Paxos-specific surfaces — the acceptors'
+// batched accepted-record forces and the 2a/2b vote datagrams —
+// because a sweep that never lands a fault on them proves nothing
+// about the protocol.
+func TestPaxosPilotEnumeratesAcceptorPoints(t *testing.T) {
+	r := paxosPilot(t)
+	sawForce := map[string]bool{}
+	sawMsg := map[string]bool{}
+	for _, p := range r.Points {
+		switch p.Class {
+		case ClassForce:
+			sawForce[p.Label] = true
+		case ClassMsg:
+			sawMsg[strings.Fields(p.Label)[0]] = true
+		}
+	}
+	for _, label := range []string{"PAXOS-PREPARE", "PAXOS-ACCEPT"} {
+		if !sawForce[label] {
+			t.Errorf("no force point labeled %s", label)
+		}
+	}
+	for _, kind := range []string{"PAXOS-PREPARE", "PAXOS-2A", "PAXOS-2B"} {
+		if !sawMsg[kind] {
+			t.Errorf("no msg point carrying %s", kind)
+		}
+	}
+	for _, o := range r.Outcomes {
+		if o != "committed" {
+			t.Errorf("fault-free outcome %q, want committed", o)
+		}
+	}
+}
+
+// TestPaxosSweepBoundedZeroViolations: the seeded single-fault sweep
+// over the Paxos workload must come back clean, like the 2PC and NB
+// sweeps of TestSweepBoundedZeroViolations.
+func TestPaxosSweepBoundedZeroViolations(t *testing.T) {
+	maxPoints := 12
+	if testing.Short() {
+		maxPoints = 4
+	}
+	rep, err := Sweep(Options{Sites: 3, Protocol: ProtocolPaxos, Seed: 1, Txns: 6, MaxPoints: maxPoints}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 0 {
+		enc, _ := EncodeReport(rep)
+		t.Errorf("%d failing schedule(s):\n%s", len(rep.Failures), enc)
+	}
+	if rep.PointsTotal == 0 || rep.PointsRun == 0 {
+		t.Errorf("no points enumerated (%d) or run (%d)", rep.PointsTotal, rep.PointsRun)
+	}
+}
+
+// TestPaxosNonBlockingUnderSingleSiteCrash pins the protocol's
+// headline property at F=1: crashing any single site — the
+// coordinator included, mid-commit — must leave every workload
+// transaction resolvable. For each site the test picks that site's
+// first Paxos protocol datagram from the pilot enumeration and
+// crashes the sender there, then requires the oracle-checked run to
+// finish without violations or deadlock.
+func TestPaxosNonBlockingUnderSingleSiteCrash(t *testing.T) {
+	pilotRun := paxosPilot(t)
+
+	// First Paxos-datagram index per sending site.
+	firstBySender := map[string]int{}
+	for _, p := range pilotRun.Points {
+		if p.Class != ClassMsg || !strings.HasPrefix(p.Label, "PAXOS-") {
+			continue
+		}
+		fields := strings.Fields(p.Label) // "KIND from→to"
+		sender := strings.Split(fields[1], "→")[0]
+		if _, ok := firstBySender[sender]; !ok {
+			firstBySender[sender] = p.Index
+		}
+	}
+	for _, sender := range []string{"1", "2", "3"} {
+		idx, ok := firstBySender[sender]
+		if !ok {
+			t.Fatalf("pilot enumerated no Paxos datagram sent by site %s", sender)
+		}
+		s := Schedule{
+			Version: Version, Seed: 1, Sites: 3, Protocol: ProtocolPaxos, Txns: 6,
+			Faults: []Fault{{Class: ClassMsg, Index: idx, Mode: ModeCrash}},
+		}
+		r, err := Run(s)
+		if err != nil {
+			t.Fatalf("site %s crash: %v", sender, err)
+		}
+		if r.Failed() {
+			t.Errorf("site %s crash: violations %v deadlock %q", sender, r.Violations, r.Deadlock)
+		}
+	}
+}

@@ -26,6 +26,23 @@ import (
 // Version is the repro-file format identifier.
 const Version = "chaos/v1"
 
+// Protocol names for Schedule.Protocol.
+const (
+	Protocol2PC   = "2pc"
+	ProtocolNB    = "nb"
+	ProtocolPaxos = "paxos"
+)
+
+// validProtocol accepts the known protocol names and "" (legacy: the
+// NonBlocking flag decides).
+func validProtocol(p string) bool {
+	switch p {
+	case "", Protocol2PC, ProtocolNB, ProtocolPaxos:
+		return true
+	}
+	return false
+}
+
 // Fault classes.
 const (
 	// ClassForce targets the Index-th stable-log block write at Site.
@@ -98,6 +115,11 @@ type Schedule struct {
 	Sites int `json:"sites"`
 	// NonBlocking selects the three-phase protocol.
 	NonBlocking bool `json:"nonblocking"`
+	// Protocol names the commit protocol explicitly: "2pc", "nb", or
+	// "paxos"; empty falls back to the NonBlocking flag (the chaos/v1
+	// encoding predates Paxos Commit, so the field is omitempty and
+	// the existing repro corpus decodes unchanged).
+	Protocol string `json:"protocol,omitempty"`
 	// Txns is the number of workload transactions.
 	Txns int `json:"txns"`
 	// Faults is the set to inject; empty means a fault-free pilot.
@@ -132,6 +154,9 @@ func DecodeSchedule(b []byte) (Schedule, error) {
 	}
 	if s.Sites < 1 || s.Txns < 1 {
 		return Schedule{}, fmt.Errorf("chaos: schedule needs sites and txns")
+	}
+	if !validProtocol(s.Protocol) {
+		return Schedule{}, fmt.Errorf("chaos: unknown protocol %q", s.Protocol)
 	}
 	for _, f := range s.Faults {
 		if err := validFault(f); err != nil {

@@ -12,6 +12,9 @@ type Options struct {
 	Sites int
 	// NonBlocking selects the three-phase protocol for the workload.
 	NonBlocking bool
+	// Protocol names the protocol explicitly ("2pc", "nb", "paxos");
+	// empty defers to NonBlocking.
+	Protocol string
 	// Seed seeds the kernel; every run of the sweep reuses it.
 	Seed int64
 	// Txns is the workload length.
@@ -37,6 +40,7 @@ type Report struct {
 	Seed        int64     `json:"seed"`
 	Sites       int       `json:"sites"`
 	NonBlocking bool      `json:"nonblocking"`
+	Protocol    string    `json:"protocol,omitempty"`
 	Txns        int       `json:"txns"`
 	PointsTotal int       `json:"points_total"`
 	PointsRun   int       `json:"points_run"`
@@ -82,6 +86,7 @@ func Sweep(opts Options, progress func(string)) (*Report, error) {
 		Seed:        opts.Seed,
 		Sites:       opts.Sites,
 		NonBlocking: opts.NonBlocking,
+		Protocol:    opts.Protocol,
 		Txns:        opts.Txns,
 	}
 	say := func(format string, args ...any) {
@@ -101,6 +106,7 @@ func Sweep(opts Options, progress func(string)) (*Report, error) {
 		Seed:        opts.Seed,
 		Sites:       opts.Sites,
 		NonBlocking: opts.NonBlocking,
+		Protocol:    opts.Protocol,
 		Txns:        opts.Txns,
 		PointsTotal: len(pilot.Points),
 		Failures:    []Failure{},

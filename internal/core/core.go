@@ -72,6 +72,20 @@ type Options struct {
 	// DisableReadOnlyOpt forces read-only sites through the full
 	// update path, for the ablation experiment.
 	DisableReadOnlyOpt bool
+	// Paxos selects Paxos Commit (Gray & Lamport, "Consensus on
+	// Transaction Commit"): one Paxos consensus instance per
+	// participant vote, decided by an acceptor set shared across all
+	// instances of the transaction. The fault-free path uses the
+	// ballot-0 optimization — each participant sends its vote straight
+	// to the acceptors — and one acceptor is co-located with the
+	// coordinator so its phase-2b piggybacks as a local call. At
+	// PaxosF = 0 the protocol degenerates to exactly two-phase
+	// commit's delayed-commit budget.
+	Paxos bool
+	// PaxosF is the number of acceptor failures Paxos Commit
+	// tolerates; the acceptor set has min(2F+1, participants)
+	// members.
+	PaxosF int
 }
 
 // Config parameterizes a Manager.
@@ -263,6 +277,31 @@ type family struct {
 	promoted     bool
 	statusResp   map[tid.SiteID]wire.NBState
 	abortIntents map[tid.SiteID]bool
+
+	// Paxos Commit state (paxos.go). The acceptor role lives inside
+	// the family descriptor — every acceptor is also a participant —
+	// so it shares the family lock with the RM and leader roles.
+	paxAcceptors []tid.SiteID                        // the transaction's shared acceptor set
+	paxPromised  uint64                              // acceptor: highest promised ballot
+	paxAcc       map[tid.SiteID]wire.PaxosAccepted   // acceptor: per-instance accepted state
+	paxAccForced bool                                // acceptor: accepted record durable
+	pax2b        map[tid.SiteID]bool                 // leader: acceptors confirmed this round
+	pax1b        map[tid.SiteID][]wire.PaxosAccepted // takeover leader: phase-1b replies
+	paxBallot    uint64                              // takeover leader: ballot being driven
+	paxNack      uint64                              // highest rival ballot seen in a nack
+	paxRound     uint32                              // takeover ballot round counter
+	paxStage     uint8                               // takeover: 0 idle, 1 awaiting 1b, 2 awaiting 2b
+	// paxAcceptorOnly marks a family descriptor created by an acceptor
+	// message (2a/1a) rather than by Join: the site serves its acceptor
+	// role but its volatile RM state is gone, so it must answer No to a
+	// late vote request (an empty participant list would otherwise read
+	// as a ReadOnly vote and commit without this site's lost updates).
+	paxAcceptorOnly bool
+	// paxGen counts mutations of paxAcc. The acceptor flush snapshots
+	// it before releasing the family lock for the log force; if it
+	// changed while the lock was free, the forced record is stale and
+	// the flush re-runs instead of marking paxAccForced.
+	paxGen uint64
 }
 
 // txn is one transaction within a family.

@@ -119,6 +119,11 @@ func (m *Manager) tick(id tid.FamilyID) {
 		return
 	}
 	switch {
+	case f.opts.Paxos:
+		// Paxos families never reach the 2PC/NB cases below — in
+		// particular a prepared Paxos subordinate must run acceptor
+		// takeover, not send 2PC inquiries.
+		m.paxosTick(f)
 	case f.promoted:
 		// Promoted coordinator: drive the recovery protocol again.
 		m.promotionSweep(f)
@@ -189,7 +194,11 @@ func (m *Manager) tick(id tid.FamilyID) {
 // prepareMsg builds the phase-one message for f (f's lock held).
 func (m *Manager) prepareMsg(f *family) *wire.Msg {
 	msg := &wire.Msg{TID: tid.Top(f.id), Flags: f.flags()}
-	if f.opts.NonBlocking {
+	if f.opts.Paxos {
+		msg.Kind = wire.KPaxosPrepare
+		msg.Sites = f.nbSites
+		msg.Acceptors = f.paxAcceptors
+	} else if f.opts.NonBlocking {
 		msg.Kind = wire.KNBPrepare
 		msg.Sites = f.nbSites
 		msg.CommitQuorum = uint16(f.commitQuorum)
@@ -295,5 +304,17 @@ func (m *Manager) handle(msg *wire.Msg) {
 		m.onChildCommit(msg)
 	case wire.KChildAbort:
 		m.onChildAbort(msg)
+	case wire.KPaxosPrepare:
+		m.onPaxosPrepare(msg)
+	case wire.KPaxosVote:
+		m.onPaxosVote(msg)
+	case wire.KPaxos2a:
+		m.onPaxos2a(msg)
+	case wire.KPaxos2b:
+		m.onPaxos2b(msg)
+	case wire.KPaxos1a:
+		m.onPaxos1a(msg)
+	case wire.KPaxos1b:
+		m.onPaxos1b(msg)
 	}
 }

@@ -1,0 +1,929 @@
+package core
+
+// Paxos Commit (Gray & Lamport, "Consensus on Transaction Commit"):
+// one Paxos consensus instance per participant vote, all instances
+// sharing one acceptor set of 2F+1 sites drawn from the participants
+// themselves. The fault-free path uses the ballot-0 optimization —
+// each RM is the sole proposer at ballot 0 for its own instance, so
+// it casts its vote straight to the acceptors as a phase 2a message,
+// skipping phase 1 entirely. One acceptor is co-located with the
+// coordinator, whose 2b "message" is a local merge; and an acceptor
+// batches every instance of the transaction into a single accepted
+// record, so the whole vote set costs it one log force and one 2b
+// datagram. At F=0 the sole acceptor is the coordinator itself and
+// the message and force budgets degenerate to exactly two-phase
+// commit's delayed-commit budget.
+//
+// Takeover replaces 2PC's blocking inquiry: any prepared participant
+// that stops hearing progress promotes itself to leader, runs phase 1
+// against the acceptors at a ballot above everything it has seen, and
+// decides from the quorum's accepted state — Aborted for instances no
+// acceptor has a value for. The decision is therefore reachable
+// whenever any acceptor quorum is alive, regardless of which single
+// site (including the coordinator) has crashed.
+
+import (
+	"sort"
+
+	"camelot/internal/det"
+	"camelot/internal/tid"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// paxosBallot packs a takeover ballot: round in the high half, the
+// proposing site in the low half, so distinct sites never collide and
+// higher rounds always dominate. Ballot 0 is reserved for the RMs'
+// own fault-free votes.
+func paxosBallot(round uint32, site tid.SiteID) uint64 {
+	return uint64(round)<<32 | uint64(uint32(site))
+}
+
+func paxosBallotRound(b uint64) uint32 { return uint32(b >> 32) }
+
+// paxosQuorum is the acceptor majority.
+func (m *Manager) paxosQuorum(f *family) int { return len(f.paxAcceptors)/2 + 1 }
+
+func (f *family) paxosIsAcceptor(s tid.SiteID) bool {
+	for _, a := range f.paxAcceptors {
+		if a == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ensurePaxos marks f as a Paxos family and allocates its acceptor
+// maps (f's lock held).
+func (m *Manager) ensurePaxos(f *family) {
+	f.opts.Paxos = true
+	if f.paxAcc == nil {
+		f.paxAcc = make(map[tid.SiteID]wire.PaxosAccepted)
+	}
+	if f.pax2b == nil {
+		f.pax2b = make(map[tid.SiteID]bool)
+	}
+}
+
+// paxosLeaderSite maps a ballot to the site acting as leader for it:
+// ballot 0 belongs to the original coordinator, any other ballot to
+// the site packed into its low half.
+func (m *Manager) paxosLeaderSite(ballot uint64, f *family) tid.SiteID {
+	if ballot == 0 {
+		return f.id.Origin()
+	}
+	return tid.SiteID(uint32(ballot))
+}
+
+// paxosAcceptorSet picks the transaction's acceptors: the coordinator
+// first (co-location makes its own vote's 2a and the acceptor's 2b
+// local calls), then the lowest-numbered other participants until
+// 2F+1 — capped at the participant count, since Camelot hosts
+// acceptors only on sites already in the transaction.
+func paxosAcceptorSet(coord tid.SiteID, sites []tid.SiteID, fF int) []tid.SiteID {
+	want := 2*fF + 1
+	if want > len(sites) {
+		want = len(sites)
+	}
+	out := make([]tid.SiteID, 0, want)
+	out = append(out, coord)
+	for _, s := range sites {
+		if len(out) == want {
+			break
+		}
+		if s != coord {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// paxosBeginCommit starts the commit protocol at the coordinator
+// (f's lock held; localVote is Yes or ReadOnly and there is at least
+// one remote site).
+func (m *Manager) paxosBeginCommit(f *family) {
+	sites := append([]tid.SiteID{m.cfg.Site}, sortedSites(f.remoteSites)...)
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	f.nbSites = sites
+	f.paxAcceptors = paxosAcceptorSet(m.cfg.Site, sites, f.opts.PaxosF)
+	m.ensurePaxos(f)
+	f.votes[m.cfg.Site] = f.localVote
+
+	if len(f.paxAcceptors) > 1 && f.localVote == wire.VoteYes {
+		// Durable own vote before it can be accepted elsewhere. At F=0
+		// the only acceptor is this site, whose batched accepted record
+		// subsumes the vote — eliding the separate force here is what
+		// makes the F=0 budget equal two-phase commit's.
+		rec := &wal.Record{
+			Type: wal.RecPaxosPrepare, TID: tid.Top(f.id),
+			Coordinator: m.cfg.Site, Sites: f.nbSites, Acceptors: f.paxAcceptors,
+		}
+		m.unlockFamily(f)
+		lsn, err := m.log.Append(rec)
+		if err == nil {
+			err = m.log.Force(lsn)
+			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
+		}
+		if !m.relockFamily(f) {
+			return
+		}
+		if err != nil {
+			// Fail-stopped log; the vote may or may not be durable, so
+			// leave the outcome undetermined (see commitLocal).
+			return
+		}
+		if f.ph != phActive {
+			return
+		}
+	}
+
+	f.ph = phPreparing
+	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "prepare")
+	m.fanout(sortedSites(f.remoteSites), m.prepareMsg(f), f.opts.Multicast)
+	if !m.paxosCastVote(f, f.localVote) {
+		return
+	}
+	m.schedule(f, m.cfg.RetryInterval)
+}
+
+// paxosCastVote sends this RM's ballot-0 vote to every acceptor — the
+// co-located one by a direct call, the rest as 2a datagrams. The 2a
+// carries the site and acceptor lists so an acceptor that has never
+// heard of the transaction is still self-sufficient. Returns false if
+// the family died during a local acceptor force (lock then released
+// by the caller's own path).
+func (m *Manager) paxosCastVote(f *family, vote wire.Vote) bool {
+	var remotes []tid.SiteID
+	for _, a := range f.paxAcceptors {
+		if a != m.cfg.Site {
+			remotes = append(remotes, a)
+		}
+	}
+	if len(remotes) > 0 {
+		m.fanout(remotes, &wire.Msg{
+			Kind: wire.KPaxos2a, TID: tid.Top(f.id),
+			Votes:     []wire.SiteVote{{Site: m.cfg.Site, Vote: vote}},
+			Sites:     f.nbSites,
+			Acceptors: f.paxAcceptors,
+		}, f.opts.Multicast)
+	}
+	if f.paxosIsAcceptor(m.cfg.Site) {
+		return m.paxosAccept(f, 0, []wire.SiteVote{{Site: m.cfg.Site, Vote: vote}})
+	}
+	return true
+}
+
+// paxosAccept runs the acceptor's phase 2b logic for a batch of
+// instance values at one ballot (f's lock held; may release it for
+// the accepted-record force). Returns false if the family died during
+// the force.
+func (m *Manager) paxosAccept(f *family, ballot uint64, votes []wire.SiteVote) bool {
+	m.ensurePaxos(f)
+	if ballot < f.paxPromised {
+		return true
+	}
+	for _, sv := range votes {
+		cur, ok := f.paxAcc[sv.Site]
+		if ok && (ballot < cur.Ballot || (ballot == cur.Ballot && cur.Vote == sv.Vote)) {
+			continue
+		}
+		f.paxAcc[sv.Site] = wire.PaxosAccepted{Site: sv.Site, Ballot: ballot, Vote: sv.Vote}
+		f.paxGen++
+		f.paxAccForced = false
+	}
+	return m.paxosAcceptorFlush(f)
+}
+
+// paxosAcceptorFlush forces the batched accepted record once values
+// for every instance are in hand, then sends the batched 2b to the
+// leader. The force batching — one record covering all participants'
+// votes — is what holds the acceptor to one log force per
+// transaction. Called and returns with f's lock held (released around
+// the force); returns false if the family died meanwhile.
+func (m *Manager) paxosAcceptorFlush(f *family) bool {
+	if !f.paxosIsAcceptor(m.cfg.Site) || len(f.nbSites) == 0 {
+		return true
+	}
+	for _, s := range f.nbSites {
+		if _, ok := f.paxAcc[s]; !ok {
+			return true // batch incomplete; wait for the rest
+		}
+	}
+	if !f.paxAccForced {
+		gen := f.paxGen
+		var ballot uint64
+		votes := make([]wire.SiteVote, 0, len(f.nbSites))
+		allRO := true
+		for _, s := range f.nbSites {
+			a := f.paxAcc[s]
+			if a.Ballot > ballot {
+				ballot = a.Ballot
+			}
+			if a.Vote != wire.VoteReadOnly {
+				allRO = false
+			}
+			votes = append(votes, wire.SiteVote{Site: a.Site, Vote: a.Vote})
+		}
+		if !allRO {
+			rec := &wal.Record{
+				Type: wal.RecPaxosAccept, TID: tid.Top(f.id), Ballot: ballot,
+				Sites: f.nbSites, Acceptors: f.paxAcceptors, Votes: votes,
+			}
+			m.unlockFamily(f)
+			lsn, err := m.log.Append(rec)
+			if err == nil {
+				err = m.log.Force(lsn)
+				m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
+			}
+			if !m.relockFamily(f) {
+				return false
+			}
+			if err != nil {
+				// Fail-stopped log: never report a non-durable acceptance.
+				return true
+			}
+			if f.paxGen != gen {
+				// Another worker mutated the batch while the lock was
+				// free; the record just forced is stale.
+				return m.paxosAcceptorFlush(f)
+			}
+		}
+		// An all-read-only batch skips the force: ReadOnly votes carry
+		// no redo obligation, so the read-only optimization's
+		// zero-log-write property survives the acceptor role.
+		f.paxAccForced = true
+	}
+	m.paxosSend2b(f)
+	return true
+}
+
+// paxosSend2b sends this acceptor's batched 2b to the current
+// leader (f's lock held).
+func (m *Manager) paxosSend2b(f *family) {
+	var ballot uint64
+	votes := make([]wire.SiteVote, 0, len(f.nbSites))
+	for _, s := range f.nbSites {
+		a := f.paxAcc[s]
+		if a.Ballot > ballot {
+			ballot = a.Ballot
+		}
+		votes = append(votes, wire.SiteVote{Site: a.Site, Vote: a.Vote})
+	}
+	leader := m.paxosLeaderSite(ballot, f)
+	if leader == m.cfg.Site {
+		// Co-located acceptor: the 2b is a local merge, not a datagram.
+		m.paxosMerge2b(f, m.cfg.Site, ballot, votes)
+		return
+	}
+	m.send(leader, &wire.Msg{
+		Kind: wire.KPaxos2b, TID: tid.Top(f.id), Ballot: ballot, Votes: votes,
+	})
+}
+
+// paxosMerge2b folds one acceptor's 2b into the leader's tally (f's
+// lock held). Empty votes with a higher ballot are a NACK.
+func (m *Manager) paxosMerge2b(f *family, from tid.SiteID, ballot uint64, votes []wire.SiteVote) {
+	if !f.coord && !f.promoted {
+		return
+	}
+	var want uint64
+	if f.promoted {
+		if f.paxStage != 2 {
+			if ballot > f.paxNack {
+				f.paxNack = ballot
+			}
+			return
+		}
+		want = f.paxBallot
+	}
+	if ballot > want {
+		// Outbid: a higher-ballot leader is running takeover.
+		if ballot > f.paxNack {
+			f.paxNack = ballot
+		}
+		return
+	}
+	if ballot < want || len(votes) == 0 {
+		return
+	}
+	if !f.promoted && f.ph != phPreparing {
+		return
+	}
+	for _, sv := range votes {
+		f.votes[sv.Site] = sv.Vote
+	}
+	f.pax2b[from] = true
+	m.paxosCheckDecide(f)
+}
+
+// paxosCheckDecide decides once an acceptor quorum has confirmed the
+// full vote batch (f's lock held).
+func (m *Manager) paxosCheckDecide(f *family) {
+	if !(f.promoted && f.paxStage == 2) && !(f.coord && !f.promoted && f.ph == phPreparing) {
+		return
+	}
+	if len(f.pax2b) < m.paxosQuorum(f) {
+		return
+	}
+	commit := true
+	for _, s := range f.nbSites {
+		if v := f.votes[s]; v != wire.VoteYes && v != wire.VoteReadOnly {
+			commit = false
+			break
+		}
+	}
+	m.paxosDecide(f, commit, 0)
+}
+
+// paxosDecide finishes the transaction at the leader. The commit
+// point is the acceptor quorum itself — recovery re-derives it from
+// the acceptors — so the leader's own commit record is written
+// lazily, like a 2PC subordinate's under delayed commit. The outcome
+// phase then reuses the 2PC machinery verbatim: KCommit/KAbort
+// notifications, delayed subordinate commit records, batched acks.
+// Called with f's lock held; exclude (if nonzero) already knows the
+// abort outcome.
+func (m *Manager) paxosDecide(f *family, commit bool, exclude tid.SiteID) {
+	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepare")
+	f.paxStage = 0
+	if !commit {
+		f.ph = phAborted
+		m.bumpStats(func(s *Stats) { s.Aborted++ })
+		m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
+		if f.result != nil {
+			f.result.Set(wire.OutcomeAbort)
+		}
+		var notify []tid.SiteID
+		for _, s := range f.nbSites {
+			if s != m.cfg.Site && s != exclude {
+				notify = append(notify, s)
+			}
+		}
+		m.fanout(notify, m.outcomeMsg(f), f.opts.Multicast)
+		m.releaseLocal(f, false)
+		m.forget(f)
+		return
+	}
+
+	//lint:ordered set construction; insertion order is unobservable
+	for s, v := range f.votes {
+		if s != m.cfg.Site && v == wire.VoteYes {
+			f.updateSubs[s] = true
+		}
+	}
+	// Read-only acceptor hosts stayed alive for their acceptor role;
+	// tell them the outcome fire-and-forget so they can forget too.
+	var roAcceptors []tid.SiteID
+	for _, a := range f.paxAcceptors {
+		if a != m.cfg.Site && f.votes[a] == wire.VoteReadOnly {
+			roAcceptors = append(roAcceptors, a)
+		}
+	}
+	if len(f.updateSubs) == 0 && f.votes[m.cfg.Site] == wire.VoteReadOnly && !f.opts.DisableReadOnlyOpt {
+		// Completely read-only: no commit record, no END, no acks.
+		f.ph = phCommitted
+		m.bumpStats(func(s *Stats) { s.Committed++ })
+		if f.result != nil {
+			f.result.Set(wire.OutcomeCommit)
+		}
+		m.fanout(roAcceptors, m.outcomeMsg(f), f.opts.Multicast)
+		m.releaseLocal(f, true)
+		m.forget(f)
+		return
+	}
+	f.ph = phCommitted
+	m.bumpStats(func(s *Stats) { s.Committed++ })
+	m.log.Append(&wal.Record{ //nolint:errcheck // lazy: the quorum is the commit point
+		Type: wal.RecCommit, TID: tid.Top(f.id), Sites: sortedSites(f.updateSubs),
+	})
+	if f.result != nil {
+		f.result.Set(wire.OutcomeCommit)
+	}
+	//lint:ordered set copy; insertion order is unobservable
+	for s := range f.updateSubs {
+		f.acksPending[s] = true
+	}
+	if len(f.acksPending) > 0 {
+		m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "notify")
+	}
+	m.fanout(sortedSites(f.updateSubs), m.outcomeMsg(f), f.opts.Multicast)
+	m.fanout(roAcceptors, m.outcomeMsg(f), f.opts.Multicast)
+	m.releaseLocal(f, true)
+	if len(f.acksPending) == 0 {
+		m.end(f)
+		return
+	}
+	m.schedule(f, m.cfg.RetryInterval)
+}
+
+// onPaxosVote handles an RM's direct No vote at the leader. A No
+// never reaches the acceptors — the RM is the sole ballot-0 proposer
+// for its instance, so skipping them cannot contradict a chosen
+// value; a takeover leader that finds the instance empty chooses
+// Aborted, agreeing with us.
+func (m *Manager) onPaxosVote(msg *wire.Msg) {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.coord || !f.opts.Paxos || f.ph != phPreparing {
+		return
+	}
+	if msg.Vote != wire.VoteNo {
+		return
+	}
+	f.votes[msg.From] = wire.VoteNo
+	m.paxosDecide(f, false, msg.From)
+}
+
+// onPaxosPrepare handles the leader's vote request at an RM.
+func (m *Manager) onPaxosPrepare(msg *wire.Msg) {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		// No record of joining: we crashed and lost volatile updates.
+		// Voting No direct to the leader is the only safe answer.
+		m.send(msg.From, &wire.Msg{Kind: wire.KPaxosVote, TID: msg.TID, Vote: wire.VoteNo})
+		return
+	}
+	if f.ph == phPrepared {
+		// Duplicate request (our 2a batch was lost somewhere): re-cast.
+		m.paxosCastVote(f, f.localVote)
+		m.unlockFamily(f)
+		return
+	}
+	if f.ph != phActive {
+		m.unlockFamily(f)
+		return
+	}
+	if f.paxAcceptorOnly {
+		// The descriptor exists only because an acceptor message
+		// created it; the RM state is gone. Answer No but keep serving
+		// the acceptor role — do not abort the family.
+		m.send(msg.From, &wire.Msg{Kind: wire.KPaxosVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.unlockFamily(f)
+		return
+	}
+	opts := optionsFromFlags(msg.Flags)
+	opts.Paxos = true
+	f.opts = opts
+	f.nbSites = msg.Sites
+	f.paxAcceptors = msg.Acceptors
+	m.ensurePaxos(f)
+	parts := m.participants(f)
+	m.unlockFamily(f)
+
+	vote := m.voteRound(parts, opts)
+	switch vote {
+	case wire.VoteNo:
+		m.relockFamily(f) // stale descriptors still answer (as in onPrepare)
+		m.send(msg.From, &wire.Msg{Kind: wire.KPaxosVote, TID: msg.TID, Vote: wire.VoteNo})
+		m.localAbort(f)
+		m.unlockFamily(f)
+	case wire.VoteReadOnly:
+		// The read-only vote travels through the acceptors like any
+		// other: sent only to the leader it could be lost with the
+		// leader and a takeover would choose Aborted for this instance
+		// — contradicting a commit the leader may already have
+		// announced.
+		if !m.relockFamily(f) {
+			m.unlockFamily(f)
+			return
+		}
+		f.localVote = wire.VoteReadOnly
+		if f.paxosIsAcceptor(m.cfg.Site) {
+			// Stay alive for the acceptor role; prepared=false marks
+			// that the outcome only tells us to forget.
+			f.ph = phPrepared
+			f.prepared = false
+			if !m.paxosCastVote(f, wire.VoteReadOnly) {
+				m.unlockFamily(f)
+				return
+			}
+			m.releaseLocal(f, true)
+			m.schedule(f, m.cfg.InquireInterval)
+			m.unlockFamily(f)
+			return
+		}
+		f.ph = phCommitted
+		m.paxosCastVote(f, wire.VoteReadOnly)
+		m.releaseLocal(f, true)
+		m.forget(f)
+		m.unlockFamily(f)
+	default:
+		// Force the prepared record, then cast Yes to the acceptors.
+		rec := &wal.Record{
+			Type: wal.RecPaxosPrepare, TID: msg.TID,
+			Coordinator: msg.From, Sites: msg.Sites, Acceptors: msg.Acceptors,
+		}
+		lsn, err := m.log.Append(rec)
+		if err == nil {
+			err = m.log.Force(lsn)
+			m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
+		}
+		if !m.relockFamily(f) {
+			m.unlockFamily(f)
+			return
+		}
+		if err != nil {
+			m.send(msg.From, &wire.Msg{Kind: wire.KPaxosVote, TID: msg.TID, Vote: wire.VoteNo})
+			m.localAbort(f)
+			m.unlockFamily(f)
+			return
+		}
+		f.ph = phPrepared
+		f.prepared = true
+		f.localVote = wire.VoteYes
+		m.tr.PhaseBegin(m.cfg.Site, msg.TID, "prepared")
+		if !m.paxosCastVote(f, wire.VoteYes) {
+			m.unlockFamily(f)
+			return
+		}
+		m.schedule(f, m.cfg.InquireInterval)
+		m.unlockFamily(f)
+	}
+}
+
+// onPaxos2a handles a proposer's phase 2a at an acceptor: a ballot-0
+// RM vote, or a takeover leader's chosen batch.
+func (m *Manager) onPaxos2a(msg *wire.Msg) {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		// Already resolved and forgotten: answer from the resolved
+		// memory so a lagging leader can finish.
+		if m.resolvedOutcome(msg.TID.Family) == wire.OutcomeCommit {
+			m.send(msg.From, &wire.Msg{Kind: wire.KCommit, TID: msg.TID})
+			return
+		}
+		// Unknown transaction: the acceptor role must outlive volatile
+		// RM state, so create a descriptor for it. Any promise or
+		// acceptance it makes is forced and restored after a crash.
+		var created bool
+		f, created = m.lockOrCreateFamily(msg.TID.Family)
+		if created {
+			f.paxAcceptorOnly = true
+		}
+	}
+	defer m.unlockFamily(f)
+	if f.ph == phCommitted || f.ph == phAborted {
+		return
+	}
+	m.ensurePaxos(f)
+	if len(f.nbSites) == 0 {
+		f.nbSites = msg.Sites
+	}
+	if len(f.paxAcceptors) == 0 {
+		f.paxAcceptors = msg.Acceptors
+	}
+	if !f.paxosIsAcceptor(m.cfg.Site) {
+		return
+	}
+	if msg.Ballot < f.paxPromised {
+		if msg.Ballot > 0 {
+			// NACK the outbid takeover leader (ballot-0 RMs retry on
+			// their own timer and need no nack).
+			m.send(msg.From, &wire.Msg{
+				Kind: wire.KPaxos2b, TID: msg.TID, Ballot: f.paxPromised,
+			})
+		}
+		return
+	}
+	if msg.Ballot > f.paxPromised {
+		// Accepting at b implies promising b; recovery restores the
+		// promise as the max over promise records and accepted ballots,
+		// so no separate promise force is needed here.
+		f.paxPromised = msg.Ballot
+	}
+	m.paxosAccept(f, msg.Ballot, msg.Votes)
+}
+
+// onPaxos2b handles an acceptor's batched 2b (or nack) at the leader.
+func (m *Manager) onPaxos2b(msg *wire.Msg) {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.opts.Paxos {
+		return
+	}
+	m.paxosMerge2b(f, msg.From, msg.Ballot, msg.Votes)
+}
+
+// --- takeover (a prepared participant drives the decision) ---
+
+// paxosPromote starts (or restarts, at a higher ballot) takeover at
+// this site (f's lock held; may release it for the promise force).
+func (m *Manager) paxosPromote(f *family) {
+	if !f.promoted {
+		f.promoted = true
+		m.bumpStats(func(s *Stats) { s.Promotions++ })
+	}
+	round := f.paxRound + 1
+	if r := paxosBallotRound(f.paxNack) + 1; r > round {
+		round = r
+	}
+	if r := paxosBallotRound(f.paxPromised) + 1; r > round {
+		round = r
+	}
+	f.paxRound = round
+	f.paxBallot = paxosBallot(round, m.cfg.Site)
+	f.paxStage = 1
+	f.pax1b = make(map[tid.SiteID][]wire.PaxosAccepted)
+	f.pax2b = make(map[tid.SiteID]bool)
+	f.attempts = 0
+	if f.paxosIsAcceptor(m.cfg.Site) {
+		if !m.paxosPromiseLocal(f) {
+			return
+		}
+	}
+	var remotes []tid.SiteID
+	for _, a := range f.paxAcceptors {
+		if a != m.cfg.Site {
+			remotes = append(remotes, a)
+		}
+	}
+	m.fanout(remotes, &wire.Msg{
+		Kind: wire.KPaxos1a, TID: tid.Top(f.id), Ballot: f.paxBallot,
+		Sites: f.nbSites, Acceptors: f.paxAcceptors,
+	}, f.opts.Multicast)
+	m.schedule(f, m.cfg.RetryInterval)
+	m.paxosCheck1bQuorum(f)
+}
+
+// paxosPromiseLocal records the co-located acceptor's promise for our
+// own takeover ballot and files its 1b (f's lock held; released
+// around the force). Returns false if the family died meanwhile.
+func (m *Manager) paxosPromiseLocal(f *family) bool {
+	b := f.paxBallot
+	if b <= f.paxPromised {
+		return true
+	}
+	f.paxPromised = b
+	if !m.paxosForcePromise(f, b) {
+		return false
+	}
+	if f.paxStage == 1 && f.paxBallot == b {
+		var acc []wire.PaxosAccepted
+		for _, s := range det.SortedKeys(f.paxAcc) {
+			acc = append(acc, f.paxAcc[s])
+		}
+		f.pax1b[m.cfg.Site] = acc
+	}
+	return true
+}
+
+// paxosForcePromise durably records a ballot promise (f's lock held;
+// released around the force). Returns false if the family died or the
+// log failed — in either case the caller must not act on the promise.
+func (m *Manager) paxosForcePromise(f *family, b uint64) bool {
+	rec := &wal.Record{
+		Type: wal.RecPaxosPromise, TID: tid.Top(f.id), Ballot: b,
+		Sites: f.nbSites, Acceptors: f.paxAcceptors,
+	}
+	m.unlockFamily(f)
+	lsn, err := m.log.Append(rec)
+	if err == nil {
+		err = m.log.Force(lsn)
+		m.tr.LogForce(m.cfg.Site, rec.TID, rec.Type.String())
+	}
+	if !m.relockFamily(f) {
+		return false
+	}
+	return err == nil
+}
+
+// onPaxos1a handles a takeover leader's phase 1a at an acceptor.
+func (m *Manager) onPaxos1a(msg *wire.Msg) {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		if m.resolvedOutcome(msg.TID.Family) == wire.OutcomeCommit {
+			m.send(msg.From, &wire.Msg{Kind: wire.KCommit, TID: msg.TID})
+		} else {
+			m.send(msg.From, &wire.Msg{Kind: wire.KAbort, TID: msg.TID})
+		}
+		return
+	}
+	defer m.unlockFamily(f)
+	if f.ph == phCommitted || f.ph == phAborted {
+		return
+	}
+	m.ensurePaxos(f)
+	if len(f.nbSites) == 0 {
+		f.nbSites = msg.Sites
+	}
+	if len(f.paxAcceptors) == 0 {
+		f.paxAcceptors = msg.Acceptors
+	}
+	if !f.paxosIsAcceptor(m.cfg.Site) {
+		return
+	}
+	if msg.Ballot < f.paxPromised {
+		m.send(msg.From, &wire.Msg{Kind: wire.KPaxos1b, TID: msg.TID, Ballot: f.paxPromised})
+		return
+	}
+	if msg.Ballot > f.paxPromised {
+		// The promise must be durable before the 1b leaves: an empty 1b
+		// commits this acceptor to never accepting a lower ballot, and
+		// the leader may decide Aborted on the strength of it. Losing
+		// the promise in a crash could let a late ballot-0 Yes slip in
+		// afterwards, contradicting that decision.
+		f.paxPromised = msg.Ballot
+		if !m.paxosForcePromise(f, msg.Ballot) {
+			return
+		}
+		if f.ph == phCommitted || f.ph == phAborted {
+			return
+		}
+	}
+	var acc []wire.PaxosAccepted
+	for _, s := range det.SortedKeys(f.paxAcc) {
+		acc = append(acc, f.paxAcc[s])
+	}
+	m.send(msg.From, &wire.Msg{
+		Kind: wire.KPaxos1b, TID: msg.TID, Ballot: msg.Ballot, Accepted: acc,
+	})
+}
+
+// onPaxos1b handles an acceptor's promise (or nack) at a takeover
+// leader.
+func (m *Manager) onPaxos1b(msg *wire.Msg) {
+	f := m.lockFamily(msg.TID.Family)
+	if f == nil {
+		return
+	}
+	defer m.unlockFamily(f)
+	if !f.promoted || f.paxStage != 1 {
+		return
+	}
+	if msg.Ballot != f.paxBallot {
+		if msg.Ballot > f.paxNack {
+			f.paxNack = msg.Ballot
+		}
+		return
+	}
+	f.pax1b[msg.From] = msg.Accepted
+	m.paxosCheck1bQuorum(f)
+}
+
+// paxosCheck1bQuorum moves takeover to phase 2 once a promise quorum
+// is in: for each instance choose the highest-ballot accepted value,
+// or Aborted where the quorum saw none — the free choice Paxos
+// grants, and the safe one for an RM that may never have voted (f's
+// lock held; may release it for the local accept force).
+func (m *Manager) paxosCheck1bQuorum(f *family) {
+	if f.paxStage != 1 || len(f.pax1b) < m.paxosQuorum(f) {
+		return
+	}
+	chosen := make([]wire.SiteVote, 0, len(f.nbSites))
+	for _, s := range f.nbSites {
+		v := wire.VoteNo
+		var best uint64
+		for _, from := range det.SortedKeys(f.pax1b) {
+			for _, a := range f.pax1b[from] {
+				if a.Site == s && (a.Ballot > best || (a.Ballot == best && v == wire.VoteNo)) {
+					// Equal-ballot entries carry identical values — one
+					// proposer per ballot — so any of them will do.
+					best = a.Ballot
+					v = a.Vote
+				}
+			}
+		}
+		chosen = append(chosen, wire.SiteVote{Site: s, Vote: v})
+		f.votes[s] = v
+	}
+	f.paxStage = 2
+	f.pax2b = make(map[tid.SiteID]bool)
+	f.attempts = 0
+	if f.paxosIsAcceptor(m.cfg.Site) {
+		if !m.paxosAccept(f, f.paxBallot, chosen) {
+			return
+		}
+		if f.paxStage != 2 {
+			// The local accept completed the quorum and decided.
+			return
+		}
+	}
+	var remotes []tid.SiteID
+	for _, a := range f.paxAcceptors {
+		if a != m.cfg.Site {
+			remotes = append(remotes, a)
+		}
+	}
+	m.fanout(remotes, &wire.Msg{
+		Kind: wire.KPaxos2a, TID: tid.Top(f.id), Ballot: f.paxBallot,
+		Votes: chosen, Sites: f.nbSites, Acceptors: f.paxAcceptors,
+	}, f.opts.Multicast)
+	m.schedule(f, m.cfg.RetryInterval)
+	m.paxosCheckDecide(f)
+}
+
+// paxosTick is the retry/timeout path for Paxos families (f's lock
+// held).
+func (m *Manager) paxosTick(f *family) {
+	switch {
+	case f.promoted:
+		f.attempts++
+		if f.paxNack > f.paxBallot {
+			// Outbid: retry at a round above the rival's.
+			m.paxosPromote(f)
+			return
+		}
+		switch f.paxStage {
+		case 1:
+			var missing []tid.SiteID
+			for _, a := range f.paxAcceptors {
+				if a != m.cfg.Site {
+					if _, ok := f.pax1b[a]; !ok {
+						missing = append(missing, a)
+					}
+				}
+			}
+			m.fanout(missing, &wire.Msg{
+				Kind: wire.KPaxos1a, TID: tid.Top(f.id), Ballot: f.paxBallot,
+				Sites: f.nbSites, Acceptors: f.paxAcceptors,
+			}, f.opts.Multicast)
+			m.schedule(f, m.cfg.RetryInterval)
+		case 2:
+			chosen := make([]wire.SiteVote, 0, len(f.nbSites))
+			for _, s := range f.nbSites {
+				chosen = append(chosen, wire.SiteVote{Site: s, Vote: f.votes[s]})
+			}
+			var missing []tid.SiteID
+			for _, a := range f.paxAcceptors {
+				if a != m.cfg.Site && !f.pax2b[a] {
+					missing = append(missing, a)
+				}
+			}
+			m.fanout(missing, &wire.Msg{
+				Kind: wire.KPaxos2a, TID: tid.Top(f.id), Ballot: f.paxBallot,
+				Votes: chosen, Sites: f.nbSites, Acceptors: f.paxAcceptors,
+			}, f.opts.Multicast)
+			m.schedule(f, m.cfg.RetryInterval)
+		default:
+			if (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0 {
+				m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
+				m.schedule(f, m.cfg.RetryInterval)
+			}
+		}
+	case f.coord && f.ph == phPreparing:
+		f.attempts++
+		if f.attempts > m.cfg.VoteRetries {
+			// Unlike 2PC the coordinator cannot unilaterally abort here:
+			// a full acceptor quorum may already hold every Yes vote, in
+			// which case the commit is chosen. Drive the abort through
+			// Paxos takeover instead, where unseen instances become
+			// Aborted by the quorum's testimony.
+			m.paxosPromote(f)
+			return
+		}
+		var missingRMs []tid.SiteID
+		for _, s := range f.nbSites {
+			if s == m.cfg.Site {
+				continue
+			}
+			if _, ok := f.votes[s]; !ok {
+				missingRMs = append(missingRMs, s)
+			}
+		}
+		m.fanout(missingRMs, m.prepareMsg(f), f.opts.Multicast)
+		var missingAcc []tid.SiteID
+		for _, a := range f.paxAcceptors {
+			if a != m.cfg.Site && !f.pax2b[a] {
+				missingAcc = append(missingAcc, a)
+			}
+		}
+		if len(missingAcc) > 0 {
+			m.fanout(missingAcc, &wire.Msg{
+				Kind: wire.KPaxos2a, TID: tid.Top(f.id),
+				Votes:     []wire.SiteVote{{Site: m.cfg.Site, Vote: f.localVote}},
+				Sites:     f.nbSites,
+				Acceptors: f.paxAcceptors,
+			}, f.opts.Multicast)
+		}
+		m.schedule(f, m.cfg.RetryInterval)
+	case (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0:
+		m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
+		m.schedule(f, m.cfg.RetryInterval)
+	case f.ph == phPrepared && !f.coord:
+		// Prepared participant hearing nothing: re-cast the vote twice
+		// (covers lost 2a/2b datagrams), then take over.
+		f.attempts++
+		if f.attempts <= 2 {
+			if !m.paxosCastVote(f, f.localVote) {
+				return
+			}
+			m.schedule(f, m.cfg.InquireInterval)
+			return
+		}
+		m.paxosPromote(f)
+	case f.ph == phActive && !f.coord:
+		// Orphan or acceptor-only descriptor: ask the origin; resolved
+		// memory answers for finished transactions and presumed abort
+		// covers never-decided ones.
+		m.bumpStats(func(s *Stats) { s.Inquiries++ })
+		m.send(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+		m.schedule(f, 4*m.cfg.InquireInterval)
+	}
+}

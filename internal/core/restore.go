@@ -50,6 +50,49 @@ func (m *Manager) RestorePreparedSub(t tid.TID, coordinator tid.SiteID, nb bool,
 	})
 }
 
+// RestorePaxos recreates a Paxos Commit participant (and its
+// co-hosted acceptor role, if any) that crashed without a durable
+// outcome. Whether the site was the original coordinator does not
+// matter — the commit point lives at the acceptors, so every restored
+// site resumes as an ordinary participant: one that forced its own
+// prepared record re-casts its vote and, failing progress, drives a
+// takeover; one holding only acceptor state serves that role and
+// inquires at the origin, where the resolved memory or presumed abort
+// answers.
+func (m *Manager) RestorePaxos(t tid.TID, coordinator tid.SiteID,
+	sites, acceptors []tid.SiteID, promised uint64,
+	accepted []wire.PaxosAccepted, accForced, prepared bool,
+	parts []server.Participant) {
+
+	m.queue.Put(func() {
+		f, _ := m.lockOrCreateFamily(t.Family)
+		defer m.unlockFamily(f)
+		m.ensurePaxos(f)
+		f.nbSites = sites
+		f.paxAcceptors = acceptors
+		f.paxPromised = promised
+		f.paxAccForced = accForced
+		for _, a := range accepted {
+			f.paxAcc[a.Site] = a
+		}
+		for _, p := range parts {
+			f.participants[p.Name()] = p
+		}
+		if prepared {
+			f.prepared = true
+			f.localVote = wire.VoteYes
+			f.ph = phPrepared
+		} else {
+			// No vote of our own was ever durable: volatile RM state is
+			// gone, so a late vote request must hear No (see
+			// paxAcceptorOnly) while the acceptor role keeps answering.
+			f.paxAcceptorOnly = true
+			f.ph = phActive
+		}
+		m.schedule(f, m.cfg.InquireInterval)
+	})
+}
+
 // RestoreCommittedCoordinator recreates a coordinator that crashed
 // after its commit point but before every subordinate acknowledged:
 // it must keep re-sending COMMIT until the remaining acks arrive,

@@ -105,6 +105,10 @@ func (m *Manager) commitTop(t tid.TID, opts Options, fut *rt.Future[wire.Outcome
 		m.commitLocal(f)
 		return
 	}
+	if opts.Paxos {
+		m.paxosBeginCommit(f)
+		return
+	}
 	if opts.NonBlocking {
 		m.nbBeginCommit(f)
 		return
@@ -401,7 +405,25 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 		}
 		return
 	}
-	if f.coord {
+	if f.coord && !f.opts.Paxos {
+		m.unlockFamily(f)
+		return
+	}
+	if f.opts.Paxos && !f.prepared && !f.coord && f.localVote == wire.VoteReadOnly {
+		// Read-only acceptor-hosting Paxos site: the acceptor role kept
+		// the family alive after its ReadOnly vote (locks already
+		// released at vote time), so the outcome only tells it to
+		// forget. No record, no ack — the read-only optimization's
+		// zero-log-write property holds. The vote check matters: a
+		// still-active subordinate that never voted holds provisional
+		// updates and must fall through to the abort path below to
+		// undo them.
+		if commit {
+			f.ph = phCommitted
+		} else {
+			f.ph = phAborted
+		}
+		m.forget(f)
 		m.unlockFamily(f)
 		return
 	}
@@ -422,6 +444,11 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 		// coordinator must not forget first.
 		f.ph = phCommitted
 		m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
+		if f.result != nil {
+			// A Paxos coordinator adopting a takeover leader's decision
+			// still owes its client the outcome.
+			f.result.Set(wire.OutcomeCommit)
+		}
 		m.unlockFamily(f)
 		m.applyLocal(parts, f.id, true)
 		lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
@@ -452,6 +479,9 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 	// and only then drop locks and acknowledge.
 	f.ph = phCommitted
 	m.tr.PhaseEnd(m.cfg.Site, msg.TID, "prepared")
+	if f.result != nil {
+		f.result.Set(wire.OutcomeCommit)
+	}
 	m.unlockFamily(f)
 	lsn, err := m.log.Append(&wal.Record{Type: wal.RecCommit, TID: msg.TID})
 	if err == nil {
@@ -478,6 +508,9 @@ func (m *Manager) onOutcome2PC(msg *wire.Msg) {
 func (m *Manager) localAbort(f *family) {
 	f.ph = phAborted
 	m.bumpStats(func(s *Stats) { s.Aborted++ })
+	if f.result != nil {
+		f.result.Set(wire.OutcomeAbort)
+	}
 	m.tr.PhaseEnd(m.cfg.Site, tid.Top(f.id), "prepared")
 	m.log.Append(&wal.Record{Type: wal.RecAbort, TID: tid.Top(f.id)}) //nolint:errcheck // lazy under presumed abort
 	m.releaseLocal(f, false)

@@ -55,6 +55,10 @@ type Request struct {
 	Sites       []uint32          `json:"sites,omitempty"`
 	Peers       map[string]string `json:"peers,omitempty"`
 	NonBlocking bool              `json:"nonblocking,omitempty"`
+	// Protocol names the commit protocol explicitly ("2pc", "nb",
+	// "paxos"); empty falls back to the node's default, then to the
+	// NonBlocking flag. Only meaningful on OpCommit.
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // Response answers one Request. Err is empty on success; Aborted
@@ -90,9 +94,37 @@ const maxLine = 1 << 20
 type Server struct {
 	node *camelot.RealNode
 	ln   net.Listener
+	// defaultProtocol applies to commits whose request names none; set
+	// before the address is published (camelot-node's -protocol flag).
+	defaultProtocol string
 
 	mu     sync.Mutex
 	closed bool
+}
+
+// SetDefaultProtocol sets the commit protocol used when a commit
+// request does not name one ("2pc", "nb", "paxos"; empty keeps the
+// per-request NonBlocking flag in charge).
+func (s *Server) SetDefaultProtocol(p string) { s.defaultProtocol = p }
+
+// commitOptions maps a commit request's protocol selection — the
+// request's own, else the server default, else the legacy NonBlocking
+// flag — to commit options. Paxos runs at F=1, matching the chaos
+// explorer's configuration.
+func commitOptions(req Request, def string) camelot.Options {
+	p := req.Protocol
+	if p == "" {
+		p = def
+	}
+	switch p {
+	case "paxos":
+		return camelot.Options{Paxos: true, PaxosF: 1}
+	case "nb":
+		return camelot.Options{NonBlocking: true}
+	case "2pc":
+		return camelot.Options{}
+	}
+	return camelot.Options{NonBlocking: req.NonBlocking}
 }
 
 // Serve starts a control server for node on addr (e.g.
@@ -201,7 +233,7 @@ func (s *Server) handle(req Request) Response {
 		return Response{OK: true}
 
 	case OpCommit:
-		out, err := n.Commit(t, camelot.Options{NonBlocking: req.NonBlocking})
+		out, err := n.Commit(t, commitOptions(req, s.defaultProtocol))
 		resp := Response{Outcome: out.String()}
 		if err != nil {
 			resp.Err = err.Error()

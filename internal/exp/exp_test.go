@@ -48,6 +48,43 @@ func TestNonBlockingSlowerButLessThanTwice(t *testing.T) {
 	}
 }
 
+func TestPaxosF0LatencyMatchesTwoPhase(t *testing.T) {
+	// With F=0 the single acceptor is co-located with the coordinator,
+	// so the fault-free path degenerates to two-phase commit's message
+	// and force pattern; the latencies must agree to within noise.
+	p := params.Paper()
+	tp := MeasureLatency(LatencySpec{Subs: 1, Trials: 10, Params: p})
+	px := MeasureLatency(LatencySpec{Subs: 1, Opts: camelot.Options{Paxos: true},
+		Trials: 10, Params: p})
+	diff := px.Total.Mean() - tp.Total.Mean()
+	if diff < -5 || diff > 5 {
+		t.Errorf("paxos F=0 differs from 2PC by %.1f ms; F=0 must degenerate to two-phase", diff)
+	}
+}
+
+func TestPaxosF1BetweenTwoPhaseAndTwice(t *testing.T) {
+	// At F=1 the acceptor round (batched forced accept + 2b) sits on
+	// the critical path, so Paxos Commit costs more than two-phase —
+	// but, like the non-blocking protocol it replaces, less than twice.
+	p := params.Paper()
+	tp := MeasureLatency(LatencySpec{Subs: 1, Trials: 10, Params: p})
+	px := MeasureLatency(LatencySpec{Subs: 1, Opts: camelot.Options{Paxos: true, PaxosF: 1},
+		Trials: 10, Params: p})
+	ratio := px.Total.Mean() / tp.Total.Mean()
+	if ratio <= 1.0 || ratio >= 2.0 {
+		t.Errorf("paxos F=1 / 2PC ratio = %.2f, want within (1, 2)", ratio)
+	}
+}
+
+func TestThreeWayTableHasAllVariants(t *testing.T) {
+	s := ThreeWayCommit(params.Paper(), 4).String()
+	for _, v := range []string{"two-phase", "paxos F=0", "paxos F=1", "non-blocking"} {
+		if !strings.Contains(s, v) {
+			t.Errorf("three-way table missing %q:\n%s", v, s)
+		}
+	}
+}
+
 func TestNonBlockingReadMatchesTwoPhaseRead(t *testing.T) {
 	p := params.Paper()
 	tp := MeasureLatency(LatencySpec{Subs: 1, ReadOnly: true, Trials: 10, Params: p})

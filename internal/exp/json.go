@@ -51,6 +51,7 @@ func RunAllJSON(quick bool) *BenchReport {
 	add("table3", t3)
 	add("figure2", Figure2(paper, trials))
 	add("figure3", Figure3(paper, trials))
+	add("three-way", ThreeWayCommit(paper, trials))
 	add("figure4", Figure4(vax))
 	add("figure5", Figure5(vax))
 	add("rpc", RPCBreakdown(paper, 10*trials))

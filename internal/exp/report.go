@@ -41,6 +41,9 @@ func RunAll(w io.Writer, quick bool) {
 	section("== F3: non-blocking commit latency (paper Figure 3) ==")
 	fmt.Fprintln(w, Figure3(paper, trials))
 
+	section("== F6: three-way commit latency (2PC vs Paxos Commit vs NB) ==")
+	fmt.Fprintln(w, ThreeWayCommit(paper, trials))
+
 	section("== F4: update transaction throughput (paper Figure 4) ==")
 	fmt.Fprintln(w, Figure4(vax))
 

@@ -38,6 +38,17 @@ type InDoubt struct {
 	Replicated   bool // an NB commit-intent record was forced here
 	AbortIntent  bool // an NB abort-intent record was forced here
 	Votes        []wire.SiteVote
+	// Paxos Commit state. Prepared reports a durable PAXOS-PREPARE
+	// (the site's own Yes vote); a site with only acceptor records —
+	// a read-only participant hosting an acceptor, or a pure
+	// acceptor-role descriptor — is still in doubt, but recovery must
+	// not claim a vote it never forced.
+	Paxos     bool
+	Prepared  bool
+	Acceptors []tid.SiteID
+	Promised  uint64 // max over promise records and accepted-record ballots
+	Accepted  []wire.PaxosAccepted
+	AccForced bool // a PAXOS-ACCEPT record is durable here
 	// Updates are the in-doubt writes per server, to re-apply under
 	// re-acquired locks.
 	Updates map[string][]*wal.Record
@@ -92,6 +103,9 @@ func Analyze(site tid.SiteID, records []*wal.Record) *Analysis {
 	commitSites := make(map[tid.TID][]tid.SiteID)
 	nbCommit := make(map[tid.TID]bool)
 	ended := make(map[tid.TID]bool)
+	paxPrepared := make(map[tid.TID]*wal.Record)
+	paxAccepted := make(map[tid.TID]*wal.Record)
+	paxPromise := make(map[tid.TID]*wal.Record)
 
 	for _, r := range records {
 		if r.TID.Family.Origin() == site && r.TID.Family.Counter() > a.MaxLocalFamily {
@@ -109,6 +123,20 @@ func Analyze(site tid.SiteID, records []*wal.Record) *Analysis {
 			replicated[r.TID.TopLevel()] = r
 		case wal.RecNBAbortIntent:
 			abortIntent[r.TID.TopLevel()] = true
+		case wal.RecPaxosPrepare:
+			paxPrepared[r.TID.TopLevel()] = r
+		case wal.RecPaxosAccept:
+			// Keep the freshest accepted state: highest ballot, later
+			// LSN on ties (a re-forced batch supersedes its predecessor).
+			top := r.TID.TopLevel()
+			if cur := paxAccepted[top]; cur == nil || r.Ballot >= cur.Ballot {
+				paxAccepted[top] = r
+			}
+		case wal.RecPaxosPromise:
+			top := r.TID.TopLevel()
+			if cur := paxPromise[top]; cur == nil || r.Ballot > cur.Ballot {
+				paxPromise[top] = r
+			}
 		case wal.RecCommit:
 			top := r.TID.TopLevel()
 			a.Committed[top] = true
@@ -159,6 +187,62 @@ func Analyze(site tid.SiteID, records []*wal.Record) *Analysis {
 	}
 	for top, rec := range replicated {
 		consider(top, rec, true)
+	}
+	// Paxos records route through their own classifier: consider's
+	// len(Sites)>0 ⇒ NonBlocking heuristic must never see them.
+	considerPaxos := func(top tid.TID, rec *wal.Record, preparedHere bool) {
+		if a.Committed[top] || a.Aborted[top] {
+			return
+		}
+		d := indoubtSet[top]
+		if d == nil {
+			d = &InDoubt{TID: top, Updates: make(map[string][]*wal.Record)}
+			indoubtSet[top] = d
+		}
+		d.Paxos = true
+		if rec.Coordinator != 0 {
+			d.Coordinator = rec.Coordinator
+		}
+		if len(rec.Sites) > 0 {
+			d.Sites = rec.Sites
+		}
+		if len(rec.Acceptors) > 0 {
+			d.Acceptors = rec.Acceptors
+		}
+		if preparedHere {
+			d.Prepared = true
+		}
+		if p := paxPromise[top]; p != nil && p.Ballot > d.Promised {
+			d.Promised = p.Ballot
+		}
+	}
+	for top, rec := range paxPrepared {
+		considerPaxos(top, rec, true)
+	}
+	// A promise with neither prepare nor accept still binds: the
+	// restarted acceptor must keep refusing lower ballots, or a late
+	// ballot-0 vote could contradict an abort decided on the strength
+	// of this site's empty phase-1b answer.
+	for top, rec := range paxPromise {
+		considerPaxos(top, rec, false)
+	}
+	for top, rec := range paxAccepted {
+		considerPaxos(top, rec, false)
+		if d := indoubtSet[top]; d != nil {
+			// The batch is only forced complete, and a higher-ballot 2a
+			// always rewrites every instance, so one record's votes all
+			// share its ballot.
+			for _, v := range rec.Votes {
+				d.Accepted = append(d.Accepted, wire.PaxosAccepted{
+					Site: v.Site, Ballot: rec.Ballot, Vote: v.Vote,
+				})
+			}
+			d.AccForced = true
+			// Accepting at b implies promising b.
+			if rec.Ballot > d.Promised {
+				d.Promised = rec.Ballot
+			}
+		}
 	}
 
 	// Redo pass: apply winners in LSN order; collect in-doubt updates.

@@ -38,12 +38,24 @@ const (
 	RecNBAbortIntent         // non-blocking abort-quorum record
 	RecEnd                   // coordinator may forget: all acks received
 	RecCheckpoint            // recovery starting point
+
+	// Paxos Commit records. RecPaxosPrepare is an RM's prepared record
+	// (its Yes vote, durable before the vote leaves the site);
+	// RecPaxosAccept is an acceptor's accepted record, batching every
+	// instance of the transaction into one force; RecPaxosPromise is an
+	// acceptor's ballot promise, forced before answering a takeover
+	// leader's phase 1a.
+	RecPaxosPrepare
+	RecPaxosAccept
+	RecPaxosPromise
 )
 
 var recNames = map[RecType]string{
 	RecUpdate: "UPDATE", RecPrepare: "PREPARE", RecCommit: "COMMIT",
 	RecAbort: "ABORT", RecNBReplicate: "NB-REPLICATE",
 	RecNBAbortIntent: "NB-ABORT-INTENT", RecEnd: "END", RecCheckpoint: "CHECKPOINT",
+	RecPaxosPrepare: "PAXOS-PREPARE", RecPaxosAccept: "PAXOS-ACCEPT",
+	RecPaxosPromise: "PAXOS-PROMISE",
 }
 
 // String returns the record type's name.
@@ -80,6 +92,18 @@ type Record struct {
 
 	// NB replication fields: the collected votes being replicated.
 	Votes []wire.SiteVote
+
+	// Paxos fields: the ballot an acceptor promised or accepted at, and
+	// the transaction's acceptor set. Encoded only for the RecPaxos*
+	// types (a type-gated tail), so every pre-Paxos record's encoding —
+	// and therefore its traced marshal size — is unchanged.
+	Ballot    uint64
+	Acceptors []tid.SiteID
+}
+
+// isPaxos reports whether t carries the Paxos tail fields.
+func (t RecType) isPaxos() bool {
+	return t == RecPaxosPrepare || t == RecPaxosAccept || t == RecPaxosPromise
 }
 
 // Codec errors.
@@ -113,6 +137,13 @@ func marshal(r *Record) []byte {
 		b = binary.BigEndian.AppendUint32(b, uint32(v.Site))
 		b = append(b, byte(v.Vote))
 	}
+	if r.Type.isPaxos() {
+		b = binary.BigEndian.AppendUint64(b, r.Ballot)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(r.Acceptors)))
+		for _, s := range r.Acceptors {
+			b = binary.BigEndian.AppendUint32(b, uint32(s))
+		}
+	}
 	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
@@ -129,7 +160,7 @@ func unmarshal(b []byte) (*Record, error) {
 	r := &Record{}
 	r.LSN = d.u64()
 	r.Type = RecType(d.u8())
-	if r.Type == RecInvalid || r.Type > RecCheckpoint {
+	if r.Type == RecInvalid || r.Type > RecPaxosPromise {
 		return nil, fmt.Errorf("%w: type %d", ErrCorrupt, r.Type)
 	}
 	r.TID.Family = tid.FamilyID(d.u64())
@@ -150,6 +181,12 @@ func unmarshal(b []byte) (*Record, error) {
 		r.Votes = append(r.Votes, wire.SiteVote{
 			Site: tid.SiteID(d.u32()), Vote: wire.Vote(d.u8()),
 		})
+	}
+	if r.Type.isPaxos() {
+		r.Ballot = d.u64()
+		for i, n := 0, int(d.u16()); i < n; i++ {
+			r.Acceptors = append(r.Acceptors, tid.SiteID(d.u32()))
+		}
 	}
 	if d.err != nil {
 		return nil, d.err

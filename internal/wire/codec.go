@@ -60,6 +60,17 @@ func Marshal(m *Msg) []byte {
 		b = be64(b, uint64(t.Family))
 		b = be64(b, uint64(t.Seq))
 	}
+	b = be64(b, m.Ballot)
+	b = be16(b, uint16(len(m.Acceptors)))
+	for _, s := range m.Acceptors {
+		b = be32(b, uint32(s))
+	}
+	b = be16(b, uint16(len(m.Accepted)))
+	for _, a := range m.Accepted {
+		b = be32(b, uint32(a.Site))
+		b = be64(b, a.Ballot)
+		b = append(b, byte(a.Vote))
+	}
 	return b
 }
 
@@ -93,7 +104,7 @@ func Unmarshal(data []byte) (*Msg, error) {
 	d := decoder{buf: data}
 	m := &Msg{}
 	m.Kind = Kind(d.u8())
-	if m.Kind == KInvalid || m.Kind > KChildAbort {
+	if m.Kind == KInvalid || m.Kind > KPaxos1b {
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
 	}
 	m.TID.Family = tid.FamilyID(d.u64())
@@ -131,6 +142,22 @@ func Unmarshal(data []byte) (*Msg, error) {
 	for i := 0; i < nAcks; i++ {
 		t := tid.TID{Family: tid.FamilyID(d.u64()), Seq: tid.Seq(d.u64())}
 		m.AckTIDs = append(m.AckTIDs, t)
+	}
+	m.Ballot = d.u64()
+	nAcceptors := int(d.u16())
+	if nAcceptors > maxSlice {
+		return nil, ErrShort
+	}
+	for i := 0; i < nAcceptors; i++ {
+		m.Acceptors = append(m.Acceptors, tid.SiteID(d.u32()))
+	}
+	nAccepted := int(d.u16())
+	if nAccepted > maxSlice {
+		return nil, ErrShort
+	}
+	for i := 0; i < nAccepted; i++ {
+		a := PaxosAccepted{Site: tid.SiteID(d.u32()), Ballot: d.u64(), Vote: Vote(d.u8())}
+		m.Accepted = append(m.Accepted, a)
 	}
 	if d.err != nil {
 		return nil, d.err

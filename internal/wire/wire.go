@@ -51,6 +51,20 @@ const (
 	// abort protocol for nested distributed transactions).
 	KChildCommit
 	KChildAbort
+
+	// Paxos Commit (Gray & Lamport). One Paxos instance per
+	// participant's vote; the acceptor set is shared across all
+	// instances of a transaction, so phase 2a/2b datagrams batch every
+	// instance a sender speaks for. Ballot 0 is reserved for the
+	// participant itself (the ballot-0 optimization: the fault-free
+	// path is one 2a round from each RM to the acceptors); takeover
+	// ballots carry the promoting site's id.
+	KPaxosPrepare // leader → RM: vote request; carries Sites + Acceptors
+	KPaxosVote    // RM → leader directly: a No vote (abort short-circuit)
+	KPaxos2a      // proposer → acceptor: ballot-0 RM vote, or takeover values
+	KPaxos2b      // acceptor → leader: accepted; batches all instances
+	KPaxos1a      // takeover leader → acceptor: prepare ballot b
+	KPaxos1b      // acceptor → takeover leader: promise + accepted state
 )
 
 var kindNames = map[Kind]string{
@@ -61,6 +75,9 @@ var kindNames = map[Kind]string{
 	KNBStatusReq: "NB-STATUS-REQ", KNBStatusResp: "NB-STATUS-RESP",
 	KNBAbortIntent: "NB-ABORT-INTENT", KNBAbortIntentAck: "NB-ABORT-INTENT-ACK",
 	KInquire: "INQUIRE", KChildCommit: "CHILD-COMMIT", KChildAbort: "CHILD-ABORT",
+	KPaxosPrepare: "PAXOS-PREPARE", KPaxosVote: "PAXOS-VOTE",
+	KPaxos2a: "PAXOS-2A", KPaxos2b: "PAXOS-2B",
+	KPaxos1a: "PAXOS-1A", KPaxos1b: "PAXOS-1B",
 }
 
 // String returns the protocol name of the kind.
@@ -190,6 +207,19 @@ type Msg struct {
 	// (the delayed-commit optimization batches acks onto later
 	// traffic).
 	AckTIDs []tid.TID
+
+	// Ballot is the Paxos ballot number (KPaxos1a/1b/2a/2b). Ballot 0
+	// belongs to the instance's own RM; takeover ballots encode the
+	// promoting site so concurrent promoters never collide.
+	Ballot uint64
+	// Acceptors is the transaction's shared acceptor set
+	// (KPaxosPrepare), fixed by the original leader for the family's
+	// lifetime.
+	Acceptors []tid.SiteID
+	// Accepted reports an acceptor's per-instance accepted state in
+	// KPaxos1b: for each instance (keyed by the RM's site), the
+	// highest ballot at which it accepted a value and that value.
+	Accepted []PaxosAccepted
 }
 
 // TraceKind names the message for trace timelines (trace.Payload).
@@ -210,6 +240,15 @@ func (m *Msg) TraceTID() tid.TID {
 type SiteVote struct {
 	Site tid.SiteID
 	Vote Vote
+}
+
+// PaxosAccepted is one instance's accepted state at an acceptor,
+// reported in KPaxos1b: the RM whose vote the instance decides, the
+// ballot at which the acceptor last accepted, and the accepted value.
+type PaxosAccepted struct {
+	Site   tid.SiteID
+	Ballot uint64
+	Vote   Vote
 }
 
 // Msg.Flags bits: the experiment knobs of §4.2 that change
