@@ -29,7 +29,11 @@ vet:
 # camelot-lint statically enforces the simulation-determinism and
 # protocol-invariant rules (see DESIGN.md §8): no unordered map
 # iteration, wall-clock reads, or raw goroutines in simulated code,
-# and no wal force without its trace event.
+# no wal force without its trace event, plus the protocol-surface
+# exhaustiveness suite — every wire.Kind and wal.RecType must be
+# registered, handled, chaos-covered, and produced (or carry a
+# justified //lint: directive). The whole suite shares one parse and
+# type-check of the module.
 lint:
 	$(GO) run ./cmd/camelot-lint ./...
 

@@ -1,43 +1,85 @@
 // Command camelot-lint statically enforces the repository's
-// determinism and protocol-invariant rules. It runs the
-// internal/lint suite — maprange, walltime, rawgo, tracepair — over
+// determinism and protocol-invariant rules. It runs the internal/lint
+// suite — the per-package analyzers (maprange, walltime, rawgo,
+// tracepair, lockorder, enumswitch, tracebudget) plus the
+// cross-package surface analyzers (kindsurface, recsurface) — over
 // the module with each analyzer scoped to the packages its rule
 // governs, prints findings as file:line:col: message [analyzer], and
 // exits 1 if there are any.
 //
 // Usage:
 //
-//	camelot-lint [./... | ./pkg/dir ...]
+//	camelot-lint [-json] [-time] [./... | ./pkg/dir ...]
 //
-// With no arguments (or "./...") the whole module is checked.
-// Sites exempt from a rule carry a `//lint:<rule> <why>` directive;
-// a directive without a justification is itself a finding.
+// With no arguments (or "./...") the whole module is checked,
+// including the cross-package surface analyzers; with explicit
+// package arguments only the per-package analyzers run, because an
+// absence check is meaningless over a partial view. -json emits the
+// findings as a schema-versioned JSON object for CI tooling; -time
+// reports how long the shared load/type-check and the analysis pass
+// each took. Sites exempt from a rule carry a `//lint:<rule> <why>`
+// directive; a directive without a justification is itself a finding.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"camelot/internal/lint"
 )
 
 const modPath = "camelot"
 
+// jsonVersion pins the -json schema. Bump it only with a deliberate
+// format change; the golden test under testdata/ holds the contract.
+const jsonVersion = "camelot-lint/v1"
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Version  string        `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
 func main() {
-	if len(os.Args) > 1 && (os.Args[1] == "-h" || os.Args[1] == "--help") {
-		usage()
-		return
-	}
+	jsonOut := flag.Bool("json", false, "emit findings as schema-versioned JSON")
+	timing := flag.Bool("time", false, "report load/type-check and analysis durations to stderr")
+	flag.Usage = usage
+	flag.Parse()
+
 	modRoot, err := findModuleRoot()
 	if err != nil {
 		fatal(err)
 	}
-	args := os.Args[1:]
+	args := flag.Args()
 	var diags []lint.Diagnostic
 	if len(args) == 0 || (len(args) == 1 && args[0] == "./...") {
-		diags, err = lint.RunModule(modRoot, modPath)
+		// Whole-module run: load and type-check every library package
+		// once, share the view across the per-package suite and the
+		// cross-package surface analyzers.
+		loadStart := time.Now()
+		mod, lerr := lint.LoadModule(modRoot, modPath)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		loadDone := time.Now()
+		diags, err = mod.Run()
+		if *timing {
+			fmt.Fprintf(os.Stderr, "camelot-lint: load+typecheck %v, analyze %v (%d packages)\n",
+				loadDone.Sub(loadStart).Round(time.Millisecond),
+				time.Since(loadDone).Round(time.Millisecond), len(mod.Pkgs))
+		}
 	} else {
 		pkgs := make([]string, 0, len(args))
 		for _, a := range args {
@@ -48,20 +90,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		emitJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }
 
+// emitJSON prints the findings as one schema-versioned object.
+func emitJSON(diags []lint.Diagnostic) {
+	out, err := jsonReportBytes(diags)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// jsonReportBytes renders the findings under the pinned schema.
+// Findings is always an array, never null, so consumers can range
+// over it without a presence check.
+func jsonReportBytes(diags []lint.Diagnostic) ([]byte, error) {
+	report := jsonReport{Version: jsonVersion, Findings: []jsonFinding{}}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonFinding{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(report, "", "  ")
+}
+
 func usage() {
-	fmt.Println("camelot-lint [./... | ./pkg/dir ...]")
+	fmt.Println("camelot-lint [-json] [-time] [./... | ./pkg/dir ...]")
 	fmt.Println()
-	fmt.Println("analyzers:")
+	fmt.Println("per-package analyzers:")
 	for _, a := range lint.Analyzers {
-		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("module analyzers (whole-module runs only):")
+	for _, ma := range lint.ModuleAnalyzers {
+		fmt.Printf("  %-12s %s\n", ma.Name, ma.Doc)
 	}
 }
 

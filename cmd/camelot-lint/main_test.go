@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"camelot/internal/lint"
+)
+
+// sampleDiags is a fixed finding set exercising every schema field
+// with two findings from different analyzers.
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/core/twophase.go", Line: 41, Column: 2},
+			Analyzer: "enumswitch",
+			Message:  "switch over wire.Vote omits VoteReadOnly and has no default",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/wire/wire.go", Line: 120, Column: 1},
+			Analyzer: "kindsurface",
+			Message:  "wire.Kind KNew is missing from wire's kind registry (kindNames): the codec rejects it in both directions (or justify with //lint:kindsurface)",
+		},
+	}
+}
+
+// TestJSONGolden pins the -json schema byte-for-byte. The golden file
+// is the contract with CI tooling: a diff here means the schema
+// version must be bumped, not the golden silently regenerated.
+func TestJSONGolden(t *testing.T) {
+	got, err := jsonReportBytes(sampleDiags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	goldenPath := filepath.Join("testdata", "report.golden.json")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output diverges from %s\ngot:\n%s\nwant:\n%s", goldenPath, got, want)
+	}
+}
+
+// TestJSONEmptyFindings pins the clean-tree shape: findings is an
+// empty array, never null, and the version string is present.
+func TestJSONEmptyFindings(t *testing.T) {
+	got, err := jsonReportBytes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Version  string            `json:"version"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Version != jsonVersion {
+		t.Errorf("version = %q, want %q", report.Version, jsonVersion)
+	}
+	if report.Findings == nil {
+		t.Error("findings marshalled as null; CI consumers require an array")
+	}
+	if !bytes.Contains(got, []byte(`"findings": []`)) {
+		t.Errorf("empty report does not contain a literal empty array:\n%s", got)
+	}
+}

@@ -296,7 +296,7 @@ func (m *Manager) onNBPrepare(msg *wire.Msg) {
 		m.releaseLocal(f, true)
 		m.forget(f)
 		m.unlockFamily(f)
-	default:
+	case wire.VoteYes:
 		rec := &wal.Record{
 			Type:         wal.RecPrepare,
 			TID:          msg.TID,

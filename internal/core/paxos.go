@@ -511,7 +511,7 @@ func (m *Manager) onPaxosPrepare(msg *wire.Msg) {
 		m.releaseLocal(f, true)
 		m.forget(f)
 		m.unlockFamily(f)
-	default:
+	case wire.VoteYes:
 		// Force the prepared record, then cast Yes to the acceptors.
 		rec := &wal.Record{
 			Type: wal.RecPaxosPrepare, TID: msg.TID,

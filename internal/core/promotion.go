@@ -126,6 +126,10 @@ func (m *Manager) evaluatePromotion(f *family) {
 			anyAborted = true
 		case wire.NBReplicated:
 			replicated++
+		case wire.NBPrepared, wire.NBAbortIntent:
+			// A merely-prepared site adds no quorum weight, and abort
+			// intents were already tallied into f.abortIntents when the
+			// status response arrived.
 		}
 	}
 	switch {
@@ -180,7 +184,13 @@ func (m *Manager) solicitAbortIntents(f *family) {
 		switch f.statusResp[s] {
 		case wire.NBReplicated, wire.NBCommitted, wire.NBAborted:
 			// May not or need not join the abort quorum.
+		case wire.NBPrepared, wire.NBAbortIntent:
+			// A prepared site can still pledge abort; a site whose
+			// intent we hold was skipped above, so an NBAbortIntent
+			// status here just means the pledge round is re-asked.
+			targets = append(targets, s)
 		default:
+			// No status response from the site yet (NBUnknown).
 			targets = append(targets, s)
 		}
 	}

@@ -362,7 +362,7 @@ func (m *Manager) onPrepare(msg *wire.Msg) {
 		m.releaseLocal(f, true)
 		m.forget(f)
 		m.unlockFamily(f)
-	default:
+	case wire.VoteYes:
 		// Force the prepare record, then vote yes.
 		rec := &wal.Record{
 			Type:        wal.RecPrepare,
@@ -539,6 +539,9 @@ func (m *Manager) voteRound(parts []server.Participant, opts Options) wire.Vote 
 			return wire.VoteNo
 		case wire.VoteYes:
 			combined = wire.VoteYes
+		case wire.VoteReadOnly:
+			// Leaves combined unchanged: read-only participants never
+			// strengthen the site's vote.
 		}
 	}
 	if combined == wire.VoteReadOnly && opts.DisableReadOnlyOpt {

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"camelot/internal/lint"
+	"camelot/internal/lint/linttest"
+)
+
+func TestEnumSwitch(t *testing.T) {
+	linttest.Run(t, linttest.Dir(), lint.EnumSwitch, "enumswitch")
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"camelot/internal/lint"
+	"camelot/internal/lint/linttest"
+)
+
+func TestKindSurface(t *testing.T) {
+	linttest.RunModule(t, linttest.Dir(), lint.KindSurface,
+		"kindsurface/wire", "kindsurface/core", "kindsurface/chaos")
+}
+
+// TestKindSurfacePartialModule pins the module-view philosophy: with
+// no core or chaos package loaded, those surfaces are simply not
+// checked — the analyzer must not report false gaps against packages
+// the view does not contain. Only registry gaps inside wire itself
+// remain reportable.
+func TestKindSurfacePartialModule(t *testing.T) {
+	loader := lint.NewLoader(lint.Root{Prefix: "", Dir: linttest.Dir("src")})
+	pkg, err := loader.Load("kindsurface/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []lint.Diagnostic
+	if err := lint.AnalyzeModule(lint.KindSurface, []*lint.Package{pkg}, &diags); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "internal/core") || strings.Contains(d.Message, "chaos") {
+			t.Errorf("absence check ran against an unloaded surface: %s", d)
+		}
+	}
+}

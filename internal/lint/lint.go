@@ -28,7 +28,25 @@
 //   - lockorder: no family-lock acquisition in internal/core while
 //     the ack or resolved component lock is held — the §3.4 lock
 //     hierarchy runs table-shard → family → component, and an
-//     inversion deadlocks the real runtime.
+//     inversion deadlocks the real runtime;
+//   - enumswitch: every switch or map literal over a protocol enum
+//     (wire.Kind, wire.Vote, wire.Outcome, wire.NBState, wal.RecType)
+//     names all members, or its default fails loudly;
+//   - tracebudget: wire.Msg literals carry TID or AckTIDs so the
+//     transport can charge each datagram to a family budget, and
+//     transport sends come from functions that stamp the sequence
+//     counter.
+//
+// Two further analyzers are cross-package (ModuleAnalyzer): they see
+// the whole library at once and run only on whole-module invocations,
+// because an absence check over a partial view would lie:
+//
+//   - kindsurface: every wire.Kind is in the codec registry
+//     (kindNames), handled by some internal/core switch, and present
+//     in the chaos injection-coverage table;
+//   - recsurface:  every wal.RecType is in the record registry
+//     (recNames), classified by recman's recovery switch, and
+//     produced by some package outside wal/recman.
 //
 // Each analyzer honors a site-level escape hatch: a `//lint:<name>
 // <justification>` comment (alias `//lint:ordered` for maprange) on

@@ -52,34 +52,59 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, pkgs ...string) {
 		if err := lint.Analyze(a, pkg, &diags); err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
 		}
-		checkExpectations(t, pkg.Fset, pkg, diags)
+		checkExpectations(t, pkg.Fset, []*lint.Package{pkg}, diags)
 	}
 }
 
-// checkExpectations pairs findings with want comments line by line.
-func checkExpectations(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+// RunModule loads all named packages from dir/src through one loader,
+// applies the module analyzer to them as one module view, and checks
+// findings against the `// want` comments of every loaded package —
+// a module analyzer's finding may land in any of them.
+func RunModule(t *testing.T, dir string, a *lint.ModuleAnalyzer, pkgs ...string) {
+	t.Helper()
+	loader := lint.NewLoader(lint.Root{Prefix: "", Dir: filepath.Join(dir, "src")})
+	var loaded []*lint.Package
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgPath, err)
+		}
+		loaded = append(loaded, pkg)
+	}
+	var diags []lint.Diagnostic
+	if err := lint.AnalyzeModule(a, loaded, &diags); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, loader.Fset, loaded, diags)
+}
+
+// checkExpectations pairs findings with the want comments of the
+// loaded packages, line by line.
+func checkExpectations(t *testing.T, fset *token.FileSet, pkgs []*lint.Package, diags []lint.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				qs := quotedRE.FindAllStringSubmatch(m[1], -1)
-				if len(qs) == 0 {
-					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
-					continue
-				}
-				for _, q := range qs {
-					re, err := regexp.Compile(q[1])
-					if err != nil {
-						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
 						continue
 					}
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					pos := fset.Position(c.Pos())
+					qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+					if len(qs) == 0 {
+						t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+						continue
+					}
+					for _, q := range qs {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+							continue
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
 				}
 			}
 		}

@@ -1,0 +1,76 @@
+package lint
+
+// ModuleAnalyzer is a cross-package check. Where an Analyzer sees one
+// package at a time, a ModuleAnalyzer sees every loaded package of
+// the module at once, so it can pin a registry declared in one
+// package (wire's kind table) to the surfaces that must stay in
+// lockstep with it in others (core's dispatch switch, chaos's
+// injection coverage). Module analyzers run only on whole-module
+// invocations: over a hand-picked package subset their absence
+// checks would report false gaps.
+type ModuleAnalyzer struct {
+	// Name is the analyzer's identifier and its //lint: directive
+	// keyword.
+	Name string
+	// Doc is a one-line description for the driver's usage text.
+	Doc string
+	// Run performs the analysis over the module view.
+	Run func(*ModulePass) error
+}
+
+// ModulePass carries one module analyzer's view of the loaded
+// package set. Per-package concerns — directive suppression,
+// positioned reporting — go through Pass values vended by Pass(),
+// which share the module pass's diagnostic sink.
+type ModulePass struct {
+	name   string
+	Pkgs   []*Package
+	diags  *[]Diagnostic
+	passes map[*Package]*Pass
+}
+
+// Package returns the loaded package whose import path is, or ends
+// in, the tail ("wire" matches both camelot/internal/wire and a
+// testdata stand-in named wire), or nil when the module view has no
+// such package — fixtures and partial modules simply skip the
+// surfaces they do not model.
+func (mp *ModulePass) Package(tail string) *Package {
+	for _, pkg := range mp.Pkgs {
+		if pathTail(pkg.Path, tail) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Pass returns the per-package pass for pkg, creating it on first
+// use. All passes append to the same diagnostic slice under the
+// module analyzer's name.
+func (mp *ModulePass) Pass(pkg *Package) *Pass {
+	if p := mp.passes[pkg]; p != nil {
+		return p
+	}
+	p := &Pass{
+		Analyzer: &Analyzer{Name: mp.name},
+		Path:     pkg.Path,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+		diags:    mp.diags,
+	}
+	mp.passes[pkg] = p
+	return p
+}
+
+// AnalyzeModule runs one module analyzer over the loaded package
+// set, appending findings to diags.
+func AnalyzeModule(a *ModuleAnalyzer, pkgs []*Package, diags *[]Diagnostic) error {
+	mp := &ModulePass{
+		name:   a.Name,
+		Pkgs:   pkgs,
+		diags:  diags,
+		passes: make(map[*Package]*Pass),
+	}
+	return a.Run(mp)
+}

@@ -1,0 +1,100 @@
+package lint
+
+import "go/types"
+
+// RecSurface pins every wal.RecType member to the recovery surfaces
+// that must grow with it. A WAL record type that the recovery
+// manager's classifier does not name is replayed as dead weight: the
+// site reboots, the log scan skips the record, and whatever state it
+// encoded is silently gone — the shape of the presumed-abort
+// decision-force bug PR 4 fixed. For each non-zero RecType constant
+// the analyzer demands:
+//
+//   - a row in wal's record registry (the recNames map literal):
+//     the codec consults it, so an unregistered type is rejected as
+//     corrupt at unmarshal instead of flowing into recovery;
+//   - a classifier branch: a case naming the type in some switch
+//     over wal.RecType in internal/recman — that switch is the
+//     single place recovery decides what a record means;
+//   - a producer: a reference to the constant in at least one
+//     package other than wal and recman, i.e. somebody actually
+//     writes the record. A type nobody produces is either dead or —
+//     like a checkpoint writer that is still future work — an
+//     explicitly justified placeholder.
+//
+// A type exempt from a surface carries `//lint:recsurface <why>` on
+// its constant declaration. Findings are reported at the constant.
+var RecSurface = &ModuleAnalyzer{
+	Name: "recsurface",
+	Doc:  "every wal.RecType needs a registry row, a recman classifier branch, and a producer",
+	Run:  runRecSurface,
+}
+
+func runRecSurface(mp *ModulePass) error {
+	walPkg := mp.Package("wal")
+	if walPkg == nil {
+		return nil
+	}
+	enum := lookupEnum(walPkg, "RecType")
+	if enum == nil {
+		return nil
+	}
+	walPass := mp.Pass(walPkg)
+
+	registry := mapKeyUnion(walPass, enum)
+	var classified map[int64]bool
+	if recmanPkg := mp.Package("recman"); recmanPkg != nil {
+		classified = switchCaseUnion(mp.Pass(recmanPkg), enum)
+	}
+	produced := producedConstants(mp, enum, walPkg)
+
+	for _, m := range enumMembers(enum) {
+		type gap struct{ missing, why string }
+		var gaps []gap
+		if !registry[m.val] {
+			gaps = append(gaps, gap{"wal's record registry (recNames)",
+				"the codec rejects it as corrupt"})
+		}
+		if classified != nil && !classified[m.val] {
+			gaps = append(gaps, gap{"the recman classifier switch",
+				"recovery replays it as dead weight"})
+		}
+		if !produced[m.val] {
+			gaps = append(gaps, gap{"any producer outside wal and recman",
+				"nobody writes this record"})
+		}
+		for _, gp := range gaps {
+			if walPass.allowed(m.obj.Pos(), "recsurface") {
+				break
+			}
+			walPass.Reportf(m.obj.Pos(),
+				"wal.RecType %s is missing from %s: %s (or justify with //lint:recsurface)",
+				m.name(), gp.missing, gp.why)
+		}
+	}
+	return nil
+}
+
+// producedConstants collects the enum member values referenced in any
+// module package other than the enum's own (wal) and the classifier
+// (recman) — the record types somebody actually produces.
+func producedConstants(mp *ModulePass, enum *types.Named, walPkg *Package) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, pkg := range mp.Pkgs {
+		if pkg == walPkg || pathTail(pkg.Path, "recman") {
+			continue
+		}
+		for _, obj := range pkg.Info.Uses {
+			c, ok := obj.(*types.Const)
+			if !ok || !types.Identical(c.Type(), enum) {
+				continue
+			}
+			for _, m := range enumMembers(enum) {
+				if m.obj == c {
+					out[m.val] = true
+				}
+			}
+		}
+	}
+	return out
+}

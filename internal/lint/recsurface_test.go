@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"camelot/internal/lint"
+	"camelot/internal/lint/linttest"
+)
+
+func TestRecSurface(t *testing.T) {
+	linttest.RunModule(t, linttest.Dir(), lint.RecSurface,
+		"recsurface/wal", "recsurface/recman", "recsurface/core")
+}

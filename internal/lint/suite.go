@@ -5,9 +5,16 @@ import (
 	"strings"
 )
 
-// Analyzers is the camelot-lint suite, in the order the driver runs
-// them.
-var Analyzers = []*Analyzer{MapRange, WallTime, RawGo, TracePair, LockOrder}
+// Analyzers is the per-package camelot-lint suite, in the order the
+// driver runs them.
+var Analyzers = []*Analyzer{MapRange, WallTime, RawGo, TracePair, LockOrder, EnumSwitch, TraceBudget}
+
+// ModuleAnalyzers are the cross-package protocol-surface checks. They
+// see the whole loaded module at once and run only on whole-module
+// invocations — over a hand-picked package subset their absence
+// checks would report false gaps (a handler that lives in a package
+// the subset happens to exclude).
+var ModuleAnalyzers = []*ModuleAnalyzer{KindSurface, RecSurface}
 
 // deterministicPkgs are the packages whose execution must replay
 // byte-identically under the simulation kernel: the protocol core,
@@ -37,7 +44,11 @@ var deterministicPkgs = map[string]bool{
 //     implementations (internal/sim, internal/rt, internal/cthreads);
 //   - tracepair covers the protocol code in internal/core;
 //   - lockorder covers internal/core, where the §3.4 two-level lock
-//     hierarchy (table-shard → family → component) lives.
+//     hierarchy (table-shard → family → component) lives;
+//   - enumswitch covers every library package — a switch or map over
+//     a protocol enum is a protocol surface wherever it lives;
+//   - tracebudget covers internal/core, the only package that builds
+//     and sends protocol datagrams.
 func InScope(a *Analyzer, pkgPath string) bool {
 	switch a {
 	case MapRange:
@@ -49,27 +60,87 @@ func InScope(a *Analyzer, pkgPath string) bool {
 			pkgPath != "camelot/internal/rt" &&
 			pkgPath != "camelot/internal/sim" &&
 			pkgPath != "camelot/internal/cthreads"
-	case TracePair, LockOrder:
+	case TracePair, LockOrder, TraceBudget:
 		return pkgPath == "camelot/internal/core"
+	case EnumSwitch:
+		return inLibrary(pkgPath)
 	}
 	return false
 }
 
-// RunModule enumerates every package in the module and runs each
-// analyzer over the packages in its scope, returning findings sorted
-// by position. This is the whole of the driver's work; the
-// suite-cleanliness test calls it too, so `go test` and
-// `make lint` can never disagree about the tree.
-func RunModule(modRoot, modPath string) ([]Diagnostic, error) {
+// Module is the whole-module view: every library package parsed and
+// type-checked exactly once through one shared loader, ready for both
+// the scoped per-package suite and the cross-package module
+// analyzers. Loading and analysis are split so the driver can time
+// them separately (-time).
+type Module struct {
+	Path string
+	Pkgs []*Package
+}
+
+// LoadModule parses and type-checks every library package of the
+// module rooted at modRoot, sharing one loader (one FileSet, one
+// memo) across the whole set: a package type-checked as somebody's
+// dependency is never type-checked again as an analysis target.
+func LoadModule(modRoot, modPath string) (*Module, error) {
 	pkgPaths, err := ModulePackages(modRoot, modPath)
 	if err != nil {
 		return nil, err
 	}
-	return RunPackages(modRoot, modPath, pkgPaths)
+	loader := NewLoader(Root{Prefix: modPath, Dir: modRoot})
+	mod := &Module{Path: modPath}
+	for _, path := range pkgPaths {
+		if !inLibrary(path) {
+			continue // host-side binaries: no analyzer or surface lives there
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		mod.Pkgs = append(mod.Pkgs, pkg)
+	}
+	return mod, nil
 }
 
-// RunPackages runs the scoped suite over the named packages of the
-// module rooted at modRoot.
+// Run runs the scoped per-package suite and every module analyzer
+// over the loaded view, returning findings sorted by position.
+func (m *Module) Run() ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, a := range Analyzers {
+			if !InScope(a, pkg.Path) {
+				continue
+			}
+			if err := Analyze(a, pkg, &diags); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, ma := range ModuleAnalyzers {
+		if err := AnalyzeModule(ma, m.Pkgs, &diags); err != nil {
+			return nil, err
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunModule loads the module and runs the full suite — per-package
+// and module analyzers. This is the whole of the driver's work; the
+// suite-cleanliness test calls it too, so `go test` and `make lint`
+// can never disagree about the tree.
+func RunModule(modRoot, modPath string) ([]Diagnostic, error) {
+	mod, err := LoadModule(modRoot, modPath)
+	if err != nil {
+		return nil, err
+	}
+	return mod.Run()
+}
+
+// RunPackages runs the scoped per-package suite over the named
+// packages of the module rooted at modRoot. Module analyzers are
+// deliberately skipped: their absence checks are only meaningful over
+// the whole module.
 func RunPackages(modRoot, modPath string, pkgPaths []string) ([]Diagnostic, error) {
 	loader := NewLoader(Root{Prefix: modPath, Dir: modRoot})
 	var diags []Diagnostic

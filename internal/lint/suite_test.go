@@ -48,10 +48,32 @@ func TestScope(t *testing.T) {
 		{lint.RawGo, "camelot/examples/demo", false},
 		{lint.TracePair, "camelot/internal/core", true},
 		{lint.TracePair, "camelot/internal/wal", false},
+		{lint.EnumSwitch, "camelot/internal/core", true},
+		{lint.EnumSwitch, "camelot/internal/oracle", true},
+		{lint.EnumSwitch, "camelot/internal/lint", true},
+		{lint.EnumSwitch, "camelot/cmd/camelot-trace", false},
+		{lint.TraceBudget, "camelot/internal/core", true},
+		{lint.TraceBudget, "camelot/internal/transport", false}, // transport IS the counter
+		{lint.TraceBudget, "camelot/internal/chaos", false},
 	}
 	for _, c := range cases {
 		if got := lint.InScope(c.analyzer, c.pkg); got != c.want {
 			t.Errorf("InScope(%s, %s) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestModuleAnalyzers pins the cross-package half of the suite: the
+// surface analyzers run once per module view, not per package, and
+// removing one from the registry should be a deliberate act.
+func TestModuleAnalyzers(t *testing.T) {
+	want := []string{"kindsurface", "recsurface"}
+	if len(lint.ModuleAnalyzers) != len(want) {
+		t.Fatalf("ModuleAnalyzers has %d entries, want %d", len(lint.ModuleAnalyzers), len(want))
+	}
+	for i, ma := range lint.ModuleAnalyzers {
+		if ma.Name != want[i] {
+			t.Errorf("ModuleAnalyzers[%d] = %s, want %s", i, ma.Name, want[i])
 		}
 	}
 }

@@ -1,0 +1,23 @@
+// Package chaos is a stand-in for camelot/internal/chaos: the
+// injection-coverage table keyed by wire.Kind. KAbort deliberately
+// has no row; the kindsurface analyzer reports that at the constant.
+package chaos
+
+import "kindsurface/wire"
+
+type coverage struct {
+	pilots    []string
+	faultOnly string
+}
+
+var kindCoverage = map[wire.Kind]coverage{
+	wire.KPrepare: {pilots: []string{"2pc"}},
+	wire.KVote:    {pilots: []string{"2pc"}},
+	wire.KCommit:  {faultOnly: "outcome traffic"},
+}
+
+// Covered keeps the table referenced.
+func Covered(k wire.Kind) bool {
+	_, ok := kindCoverage[k]
+	return ok
+}

@@ -1,0 +1,20 @@
+// Package core is a stand-in for camelot/internal/core: the dispatch
+// switch that gives a wire.Kind its handler.
+package core
+
+import "kindsurface/wire"
+
+// Handle dispatches one datagram. KCommit deliberately has no case:
+// the kindsurface analyzer reports that at the constant, in the wire
+// stand-in.
+func Handle(k wire.Kind) string {
+	switch k {
+	case wire.KPrepare:
+		return "prepare"
+	case wire.KVote:
+		return "vote"
+	case wire.KAbort:
+		return "abort"
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+// Package core is a stand-in producer: the protocol code that writes
+// records. RecEnd is deliberately never referenced here (or anywhere
+// outside wal and recman), so the recsurface analyzer reports it as
+// producer-less.
+package core
+
+import "recsurface/wal"
+
+// Append-shaped producers for the record types the fixture treats as
+// live.
+func WriteUpdate() wal.RecType { return wal.RecUpdate }
+func WriteCommit() wal.RecType { return wal.RecCommit }
+func WriteAbort() wal.RecType  { return wal.RecAbort }

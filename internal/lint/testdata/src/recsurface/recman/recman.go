@@ -1,0 +1,20 @@
+// Package recman is a stand-in for camelot/internal/recman: the
+// recovery classifier switch. RecAbort deliberately has no branch;
+// the recsurface analyzer reports that at the constant, in the wal
+// stand-in.
+package recman
+
+import "recsurface/wal"
+
+// Classify routes one replayed record.
+func Classify(t wal.RecType) string {
+	switch t {
+	case wal.RecUpdate:
+		return "update"
+	case wal.RecCommit:
+		return "commit"
+	case wal.RecEnd:
+		return "end"
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+// Package tracebudget exercises the tracebudget analyzer: wire.Msg
+// literals must carry TID or AckTIDs so the transport's central
+// datagram counters can charge them to a family, and transport sends
+// must come from functions that stamp the sequence counter.
+package tracebudget
+
+import (
+	"tracebudget/transport"
+	"tracebudget/wire"
+)
+
+type mgr struct {
+	net *transport.Net
+	seq uint64
+}
+
+// send stamps and transmits: the sanctioned path, not a finding.
+func (m *mgr) send(to uint32, msg *wire.Msg) {
+	m.seq++
+	msg.Seq = m.seq
+	m.net.Send(1, to, msg)
+}
+
+// stamp is the helper indirection sendVia relies on.
+func (m *mgr) stamp(msg *wire.Msg) {
+	m.seq++
+	msg.Seq = m.seq
+}
+
+func (m *mgr) sendVia(to uint32, msg *wire.Msg) {
+	m.stamp(msg)
+	m.net.Send(1, to, msg)
+}
+
+func (m *mgr) rawSend(to uint32, msg *wire.Msg) {
+	m.net.Send(1, to, msg) // want "rawSend calls the transport's Send directly but never stamps"
+}
+
+func (m *mgr) rawFanout(tos []uint32, msg *wire.Msg) {
+	m.net.SendAll(1, tos, msg)   // want "rawFanout calls the transport's SendAll directly"
+	m.net.Multicast(1, tos, msg) // want "rawFanout calls the transport's Multicast directly"
+}
+
+func (m *mgr) rawJustified(to uint32, msg *wire.Msg) {
+	//lint:tracebudget handshake probe; never counted against a family budget
+	m.net.Send(1, to, msg)
+}
+
+func (m *mgr) rawBare(to uint32, msg *wire.Msg) {
+	m.net.Send(1, to, msg) /* want "needs a justification" */ //lint:tracebudget
+}
+
+func buildAttributed() *wire.Msg {
+	return &wire.Msg{Kind: 1, TID: 7}
+}
+
+func buildAckBatch() *wire.Msg {
+	return &wire.Msg{Kind: 1, AckTIDs: []wire.TID{7}}
+}
+
+func buildOrphan() *wire.Msg {
+	return &wire.Msg{Kind: 1} // want "sets neither TID nor AckTIDs"
+}
+
+func buildJustified() *wire.Msg {
+	//lint:tracebudget site-level ping; deliberately family-less
+	return &wire.Msg{Kind: 1}
+}

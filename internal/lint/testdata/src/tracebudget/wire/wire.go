@@ -1,0 +1,17 @@
+// Package wire is a stand-in for camelot/internal/wire with the Msg
+// shape the tracebudget analyzer matches on.
+package wire
+
+type Kind uint8
+
+type TID uint64
+
+// Msg mirrors the fields tracebudget cares about: TID and AckTIDs
+// are the family-attribution carriers, Seq is the stamped sequence
+// number.
+type Msg struct {
+	Kind    Kind
+	TID     TID
+	Seq     uint64
+	AckTIDs []TID
+}

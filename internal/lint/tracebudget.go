@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceBudget extends tracepair from forces to sends. The
+// conformance tables pin the paper's per-commit datagram budgets
+// against trace counters, and the transport counts every datagram
+// centrally — but central counting only attributes a send to a
+// transaction family when the message carries a TID (or piggybacked
+// AckTIDs), and only sees sends that actually reach it through the
+// stamped core send path. Two ways a protocol send can silently
+// escape the budget:
+//
+//  1. a wire.Msg composite literal that sets neither TID nor
+//     AckTIDs — the transport counts the datagram but cannot charge
+//     it to any family, so the per-family budget under-counts;
+//  2. a direct call to the transport (Send/SendAll/Multicast on the
+//     transport package's interfaces) from a function that never
+//     stamps the sequence counter — a send path that bypasses
+//     core's send/fanout helpers skips sequence stamping and ack
+//     piggybacking, the bookkeeping the budget columns assume.
+//
+// Stamping may live one local helper away (the call graph's single
+// level of indirection). Escape hatch: `//lint:tracebudget <why>` on
+// the literal or call.
+var TraceBudget = &Analyzer{
+	Name: "tracebudget",
+	Doc:  "protocol sends must be family-attributable and sequence-stamped for the budget counters",
+	Run:  runTraceBudget,
+}
+
+func runTraceBudget(pass *Pass) error {
+	g := buildCallGraph(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			stamps := stampsSeq(pass, g, fd, true)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					named := namedTypeOf(pass, n)
+					if named == nil || named.Obj().Name() != "Msg" ||
+						named.Obj().Pkg() == nil || !pathTail(named.Obj().Pkg().Path(), "wire") {
+						return true
+					}
+					if literalHasKey(n, "TID") || literalHasKey(n, "AckTIDs") {
+						return true
+					}
+					if pass.allowed(n.Pos(), "tracebudget") {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"wire.Msg literal sets neither TID nor AckTIDs, so the transport cannot charge the datagram to a family and the budget counters under-count (or justify with //lint:tracebudget)")
+				case *ast.CallExpr:
+					fn := pass.calleeMethod(n)
+					if fn == nil || !pkgTail(fn, "transport") {
+						return true
+					}
+					switch fn.Name() {
+					case "Send", "SendAll", "Multicast":
+					default:
+						return true
+					}
+					if stamps || pass.allowed(n.Pos(), "tracebudget") {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"%s calls the transport's %s directly but never stamps the sequence counter; route the send through the stamped send/fanout path so the budget bookkeeping sees it (or justify with //lint:tracebudget)",
+						fd.Name.Name, fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// stampsSeq reports whether the function increments a field named seq
+// — directly, or (when follow is set) inside one locally declared
+// helper it calls.
+func stampsSeq(pass *Pass, g *callGraph, fd *ast.FuncDecl, follow bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "seq" {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if !follow {
+				return true
+			}
+			if callee := calleeObject(pass, n); callee != nil {
+				if body := g.body(callee); body != nil && stampsSeq(pass, g, body, false) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedTypeOf resolves a composite literal (or &literal) to its named
+// type, or nil.
+func namedTypeOf(pass *Pass, lit *ast.CompositeLit) *types.Named {
+	t := pass.Info.Types[lit].Type
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named
+}
+
+// literalHasKey reports whether a keyed composite literal sets the
+// field.
+func literalHasKey(lit *ast.CompositeLit, key string) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == key {
+			return true
+		}
+	}
+	return false
+}

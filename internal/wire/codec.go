@@ -74,11 +74,16 @@ func Marshal(m *Msg) []byte {
 	return b
 }
 
-// MarshalDatagram encodes m and enforces the MaxDatagram limit: the
-// encoding is returned only if it fits one UDP datagram, otherwise
-// ErrOversize with the offending size. Real-network senders must use
-// this instead of Marshal.
+// MarshalDatagram encodes m and enforces the send-side invariants:
+// the kind must be registered (an unregistered kind would be bounced
+// as ErrBadKind by every receiver, i.e. manufactured silent loss) and
+// the encoding must fit one UDP datagram, otherwise ErrOversize with
+// the offending size. Real-network senders must use this instead of
+// Marshal.
 func MarshalDatagram(m *Msg) ([]byte, error) {
+	if !m.Kind.Registered() {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
+	}
 	b := Marshal(m)
 	if len(b) > MaxDatagram {
 		return nil, fmt.Errorf("%w: %s is %d bytes (limit %d)", ErrOversize, m.Kind, len(b), MaxDatagram)
@@ -104,7 +109,13 @@ func Unmarshal(data []byte) (*Msg, error) {
 	d := decoder{buf: data}
 	m := &Msg{}
 	m.Kind = Kind(d.u8())
-	if m.Kind == KInvalid || m.Kind > KPaxos1b {
+	// Membership in the kind registry, not a range check: a range
+	// admits any byte below the newest constant whether or not the
+	// registry knows it, and the old `> KPaxos1b` guard meant a kind
+	// constant added without a registry row decoded fine and then
+	// stringified as INVALID. Every unregistered byte — zero, gaps,
+	// and everything above the last kind — must fail the same way.
+	if !m.Kind.Registered() {
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
 	}
 	m.TID.Family = tid.FamilyID(d.u64())

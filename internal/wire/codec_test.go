@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -50,7 +51,7 @@ func TestRoundTripMinimal(t *testing.T) {
 }
 
 func TestRoundTripEveryKind(t *testing.T) {
-	for k := KPrepare; k <= KChildAbort; k++ {
+	for _, k := range Kinds() {
 		m := &Msg{Kind: k, TID: tid.Top(tid.MakeFamily(1, uint32(k)))}
 		got, err := Unmarshal(Marshal(m))
 		if err != nil {
@@ -115,15 +116,42 @@ func TestUnmarshalTrailingGarbage(t *testing.T) {
 	}
 }
 
-func TestUnmarshalBadKind(t *testing.T) {
+// TestUnmarshalEveryKindByte drives all 256 possible kind bytes
+// through Unmarshal: registered kinds decode, every unregistered byte
+// — zero, gaps in the numbering, everything above the last kind —
+// fails uniformly with ErrBadKind. This is the table the old range
+// check (`> KPaxos1b`) could not honestly pass: a kind constant added
+// without a kindNames row would decode fine and stringify as INVALID.
+func TestUnmarshalEveryKindByte(t *testing.T) {
 	b := Marshal(sampleMsg())
-	b[0] = 0
-	if _, err := Unmarshal(b); err == nil {
-		t.Fatal("Unmarshal accepted kind 0")
+	for v := 0; v <= 255; v++ {
+		b[0] = byte(v)
+		m, err := Unmarshal(b)
+		if Kind(v).Registered() {
+			if err != nil {
+				t.Errorf("kind byte %d (%s): Unmarshal = %v, want ok", v, Kind(v), err)
+			} else if m.Kind != Kind(v) {
+				t.Errorf("kind byte %d decoded as %v", v, m.Kind)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrBadKind) {
+			t.Errorf("kind byte %d: Unmarshal err = %v, want ErrBadKind", v, err)
+		}
 	}
-	b[0] = 200
-	if _, err := Unmarshal(b); err == nil {
-		t.Fatal("Unmarshal accepted kind 200")
+}
+
+// TestMarshalDatagramRejectsUnregisteredKind pins the send side of
+// the same contract: an unregistered kind must be refused at the
+// sender, where the error can still name the message, instead of
+// being bounced by every receiver as manufactured silent loss.
+func TestMarshalDatagramRejectsUnregisteredKind(t *testing.T) {
+	for _, k := range []Kind{KInvalid, Kind(200), Kind(255)} {
+		m := sampleMsg()
+		m.Kind = k
+		if _, err := MarshalDatagram(m); !errors.Is(err, ErrBadKind) {
+			t.Errorf("kind %d: MarshalDatagram err = %v, want ErrBadKind", k, err)
+		}
 	}
 }
 

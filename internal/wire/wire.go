@@ -11,7 +11,11 @@
 // protocol, and the status/recovery messages.
 package wire
 
-import "camelot/internal/tid"
+import (
+	"sort"
+
+	"camelot/internal/tid"
+)
 
 // Kind discriminates datagram types.
 type Kind uint8
@@ -86,6 +90,27 @@ func (k Kind) String() string {
 		return s
 	}
 	return "INVALID"
+}
+
+// Registered reports whether k is a kind the protocol defines: a row
+// in the kind registry (kindNames). The codec consults this in both
+// directions, so registry membership — not a numeric range compare —
+// is what makes a kind decodable on the wire.
+func (k Kind) Registered() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// Kinds enumerates every registered kind in ascending order. Tests
+// and coverage tables iterate this instead of hand-writing the first
+// and last member, so a new kind is swept in automatically.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, len(kindNames))
+	for k := range kindNames {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
 }
 
 // Vote is a subordinate's phase-one answer.
