@@ -73,10 +73,11 @@ golden: lint
 
 # Machine-readable benchmark report for the performance trajectory:
 # every simulated table plus the host-dependent real-runtime (R1) and
-# real-network (R2/R3) experiments. CI archives the file per commit.
+# real-network (R2/R3/R4, including the sharded data tier) experiments.
+# CI archives the file per commit.
 bench:
-	$(GO) run ./cmd/camelot-bench -quick -json -realtime -realnet > BENCH_6.json
-	@echo "wrote BENCH_6.json"
+	$(GO) run ./cmd/camelot-bench -quick -json -realtime -realnet > BENCH_8.json
+	@echo "wrote BENCH_8.json"
 
 # A real multi-process cluster on loopback: spawn camelot-node
 # daemons, run the seeded distributed workload with a mid-run SIGKILL

@@ -34,6 +34,7 @@ import (
 	"camelot/internal/params"
 	"camelot/internal/rt"
 	"camelot/internal/server"
+	"camelot/internal/shardmap"
 	"camelot/internal/tid"
 	"camelot/internal/trace"
 	"camelot/internal/transport"
@@ -55,6 +56,13 @@ var (
 	ErrAborted = core.ErrAborted
 	// ErrCrashed reports an operation on a crashed node.
 	ErrCrashed = errors.New("camelot: node is crashed")
+	// ErrNoShard reports a keyspace operation on a key no shard map
+	// entry covers; re-exported from the data tier so clients classify
+	// routing rejections with errors.Is.
+	ErrNoShard = server.ErrNoShard
+	// ErrWrongSite reports a keyspace operation routed to a site that
+	// does not host the key's home shard.
+	ErrWrongSite = server.ErrWrongSite
 )
 
 // Options selects the commitment protocol per transaction; see
@@ -123,6 +131,10 @@ type Cluster struct {
 	names *commman.Names
 	nodes map[SiteID]*Node
 	tr    *trace.Collector
+	// shards, when set, makes the cluster's keyspace API (Tx.WriteKey,
+	// Tx.ReadKey) route by key; nil clusters are unsharded and
+	// unaffected.
+	shards *shardmap.Map
 }
 
 // NewRealtimeCluster creates a cluster on the ordinary Go runtime —
@@ -183,6 +195,14 @@ func (c *Cluster) AddNode(id SiteID) *Node {
 func (c *Cluster) Node(id SiteID) *Node {
 	return c.nodes[id]
 }
+
+// SetShardMap installs the deployment's shard map, enabling the
+// keyspace API. Call before AddShardServers on any node; every member
+// of a deployment must install an Equal map.
+func (c *Cluster) SetShardMap(m *shardmap.Map) { c.shards = m }
+
+// ShardMap returns the cluster's shard map, or nil when unsharded.
+func (c *Cluster) ShardMap() *shardmap.Map { return c.shards }
 
 // Node is one Camelot site.
 type Node struct {
@@ -271,6 +291,19 @@ func (n *Node) addServer(name string) *server.Server {
 	n.servers[name] = s
 	n.comm.RegisterServer(s)
 	return s
+}
+
+// AddShardServers creates the data servers the cluster's shard map
+// homes at this node — one per local shard, named by the map, each
+// reachable cluster-wide. Requires SetShardMap first.
+func (n *Node) AddShardServers() {
+	m := n.cluster.shards
+	if m == nil {
+		panic("camelot: AddShardServers before SetShardMap")
+	}
+	for _, sh := range m.ShardsAt(n.id) {
+		n.addServer(m.ServerOf(sh))
+	}
 }
 
 // Server returns the named local server, or nil.

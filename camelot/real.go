@@ -9,6 +9,7 @@ import (
 	"camelot/internal/diskman"
 	"camelot/internal/rt"
 	"camelot/internal/server"
+	"camelot/internal/shardmap"
 	"camelot/internal/tid"
 	"camelot/internal/transport"
 	"camelot/internal/wal"
@@ -27,8 +28,15 @@ type RealConfig struct {
 	// WALPath is the on-disk log file; created if absent, replayed by
 	// Recover if not.
 	WALPath string
-	// Servers names the data servers to run.
+	// Servers names the data servers to run. Ignored when ShardMap is
+	// set: the map decides which shard servers this site hosts.
 	Servers []string
+	// ShardMap, if non-nil, makes the site's data tier shard-scoped:
+	// the site hosts one data server per shard the map homes here
+	// (per-shard lock managers and object tables, shared WAL), and the
+	// keyspace methods (WriteKey, ReadKey, PeekKey) route by key. A
+	// one-shard map reduces to the legacy single "store" server.
+	ShardMap *shardmap.Map
 	// Threads is the transaction-manager pool size.
 	Threads int
 	// GroupCommit enables log batching; FlushInterval bounds how long
@@ -82,6 +90,7 @@ type RealNode struct {
 	log     *wal.Log
 	tm      *core.Manager
 	servers map[string]*server.Server
+	set     *server.Set // non-nil when cfg.ShardMap is set
 }
 
 // StartRealNode opens (or creates) the WAL at cfg.WALPath, binds the
@@ -128,10 +137,19 @@ func StartRealNode(cfg RealConfig) (*RealNode, error) {
 		AckFlushInterval: cfg.AckFlushInterval,
 	}, n.log, peer)
 	n.tm.SetResolvedBackstop(n.pages.Outcome)
-	for _, name := range cfg.Servers {
-		n.servers[name] = server.New(r, name, n.tm, n.log, server.Config{
+	if cfg.ShardMap != nil {
+		// Shard servers must exist before Recover: the recovery process
+		// installs replayed state into servers by name.
+		n.set = server.NewSet(r, cfg.Site, cfg.ShardMap, n.tm, n.log, server.Config{
 			LockTimeout: cfg.LockTimeout,
 		})
+		n.servers = n.set.Servers()
+	} else {
+		for _, name := range cfg.Servers {
+			n.servers[name] = server.New(r, name, n.tm, n.log, server.Config{
+				LockTimeout: cfg.LockTimeout,
+			})
+		}
 	}
 	peer.SetHandler(func(d transport.Datagram) {
 		if msg, ok := d.Payload.(*wire.Msg); ok {
@@ -215,6 +233,37 @@ func (n *RealNode) Peek(srv string, key string) ([]byte, bool) {
 		return nil, false
 	}
 	return s.Peek(key)
+}
+
+// ShardMap returns the site's shard map, or nil when the data tier is
+// unsharded.
+func (n *RealNode) ShardMap() *shardmap.Map { return n.cfg.ShardMap }
+
+// WriteKey routes key to its local shard server and writes it under
+// transaction t. Requires a ShardMap; a key this site does not cover
+// fails with server.ErrNoShard or server.ErrWrongSite.
+func (n *RealNode) WriteKey(t TID, key string, val []byte) error {
+	if n.set == nil {
+		return fmt.Errorf("camelot: site %d is not sharded", n.cfg.Site)
+	}
+	return n.set.Write(t, tid.TID{}, key, val)
+}
+
+// ReadKey routes key to its local shard server and reads it under t.
+func (n *RealNode) ReadKey(t TID, key string) ([]byte, error) {
+	if n.set == nil {
+		return nil, fmt.Errorf("camelot: site %d is not sharded", n.cfg.Site)
+	}
+	return n.set.Read(t, tid.TID{}, key)
+}
+
+// PeekKey returns the committed value of key from its local shard
+// server without a transaction; the error is the routing verdict.
+func (n *RealNode) PeekKey(key string) ([]byte, bool, error) {
+	if n.set == nil {
+		return nil, false, fmt.Errorf("camelot: site %d is not sharded", n.cfg.Site)
+	}
+	return n.set.Peek(key)
 }
 
 // OutcomeOf returns this site's resolved outcome for a family, or

@@ -5,6 +5,7 @@ import (
 
 	"camelot/internal/commman"
 	"camelot/internal/rt"
+	"camelot/internal/server"
 	"camelot/internal/tid"
 	"camelot/internal/wire"
 )
@@ -59,6 +60,43 @@ func (tx *Tx) Write(serverName, key string, value []byte) error {
 		Key: key, Value: value,
 	})
 	return err
+}
+
+// routeKey resolves key to its shard server through the cluster's
+// shard map, rejecting keys no shard covers with the data tier's
+// typed error so callers never wait on a lookup that cannot succeed.
+func (tx *Tx) routeKey(key string) (string, error) {
+	m := tx.node.cluster.shards
+	if m == nil {
+		return "", fmt.Errorf("camelot: cluster has no shard map; use Write/Read with a server name")
+	}
+	if m.SiteOf(key) == 0 {
+		return "", fmt.Errorf("%w: key %q (shard %d of %d)",
+			server.ErrNoShard, key, m.ShardOf(key), m.Shards)
+	}
+	return m.ServerFor(key), nil
+}
+
+// WriteKey writes key wherever the cluster's shard map homes it: the
+// operation is routed to the key's shard server (local or remote),
+// and the remote path's response joins that site to the transaction's
+// participant set, so the commit instance covers exactly the shards
+// the family touched.
+func (tx *Tx) WriteKey(key string, value []byte) error {
+	srv, err := tx.routeKey(key)
+	if err != nil {
+		return err
+	}
+	return tx.Write(srv, key, value)
+}
+
+// ReadKey reads key from its shard server under a shared lock.
+func (tx *Tx) ReadKey(key string) ([]byte, error) {
+	srv, err := tx.routeKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return tx.Read(srv, key)
 }
 
 // Child begins a nested transaction under tx (Moss model): its

@@ -15,8 +15,9 @@
 // track a performance trajectory. -realtime appends the host-
 // dependent multi-family scaling experiment (R1), which measures this
 // machine rather than the simulated testbed; -realnet appends the
-// real-network experiments (R2, R3), which run the commitment
-// protocols over actual loopback UDP sockets.
+// real-network experiments (R2, R3, R4), which run the commitment
+// protocols — including the sharded data tier's cross-shard commits —
+// over actual loopback UDP sockets.
 package main
 
 import (
@@ -65,7 +66,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "realnet throughput:", err)
 			os.Exit(1)
 		}
-		return []*stats.Table{lat, tput}
+		shard, err := exp.RealNetSharded(3, 4, realnetTxns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "realnet sharded:", err)
+			os.Exit(1)
+		}
+		return []*stats.Table{lat, tput, shard}
 	}
 
 	if *jsonOut {
@@ -77,7 +83,8 @@ func main() {
 			ts := realnetTables()
 			rep.Tables = append(rep.Tables,
 				exp.TableJSON("realnet-latency", ts[0]),
-				exp.TableJSON("realnet-throughput", ts[1]))
+				exp.TableJSON("realnet-throughput", ts[1]),
+				exp.TableJSON("realnet-sharded", ts[2]))
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -96,7 +103,7 @@ func main() {
 			fmt.Fprintln(w, scaling())
 		}
 		if *realnet {
-			fmt.Fprintln(w, "\n== R2/R3: real-network commitment over loopback UDP (this host) ==")
+			fmt.Fprintln(w, "\n== R2/R3/R4: real-network commitment over loopback UDP (this host) ==")
 			fmt.Fprintln(w)
 			for _, t := range realnetTables() {
 				fmt.Fprintln(w, t)

@@ -36,6 +36,7 @@ type options struct {
 	protocol    string
 	seed        int64
 	txns        int
+	shards      int
 	points      int
 	repro       string
 	jsonOut     bool
@@ -49,6 +50,7 @@ func main() {
 	flag.StringVar(&opts.protocol, "protocol", "", "commit protocol: 2pc, nb, or paxos (overrides -nonblocking)")
 	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
 	flag.IntVar(&opts.txns, "txns", 12, "workload transactions per run")
+	flag.IntVar(&opts.shards, "shards", 0, "shard the keyspace into N shards and sweep the cross-shard workload (0: legacy replicated-key workload)")
 	flag.IntVar(&opts.points, "points", 0, "max injection points to explore (0 = all)")
 	flag.StringVar(&opts.repro, "repro", "", "replay a chaos/v1 schedule file instead of sweeping")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit the report as JSON")
@@ -87,6 +89,7 @@ func run(opts options) (out string, failed bool, err error) {
 		Protocol:    opts.protocol,
 		Seed:        opts.seed,
 		Txns:        opts.txns,
+		Shards:      opts.shards,
 		MaxPoints:   opts.points,
 	}, progress)
 	if err != nil {
@@ -150,8 +153,12 @@ func renderReport(rep *chaos.Report) string {
 	case "paxos":
 		protocol = "paxos F=1"
 	}
-	out := fmt.Sprintf("chaos sweep: %s, seed %d, %d sites, %d txns\n",
-		protocol, rep.Seed, rep.Sites, rep.Txns)
+	sharding := ""
+	if rep.Shards > 0 {
+		sharding = fmt.Sprintf(", %d shards", rep.Shards)
+	}
+	out := fmt.Sprintf("chaos sweep: %s, seed %d, %d sites%s, %d txns\n",
+		protocol, rep.Seed, rep.Sites, sharding, rep.Txns)
 	out += fmt.Sprintf("  points: %d enumerated, %d explored; %d runs\n",
 		rep.PointsTotal, rep.PointsRun, rep.Runs)
 	if len(rep.Failures) == 0 {

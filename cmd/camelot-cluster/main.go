@@ -22,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -36,6 +37,7 @@ import (
 	"camelot/camelot"
 	"camelot/internal/ctl"
 	"camelot/internal/oracle"
+	"camelot/internal/shardmap"
 )
 
 // ReportSchema identifies the -json output format.
@@ -48,6 +50,7 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "workload seed")
 	flag.StringVar(&cfg.NodeBin, "node", "", "camelot-node binary (built with 'go build' when empty)")
 	flag.StringVar(&cfg.Protocol, "protocol", "", "commit protocol for every transaction: 2pc, nb, or paxos (empty: per-txn random mix)")
+	flag.IntVar(&cfg.Shards, "shards", 0, "shard the keyspace into N shards round-robin over the sites and drive a keyspace-aware workload (0: legacy single-server workload)")
 	flag.BoolVar(&cfg.JSON, "json", false, "emit a JSON report on stdout")
 	flag.BoolVar(&cfg.Bounce, "bounce", true, "after the run, kill and restart every node and re-check durability")
 	flag.BoolVar(&cfg.Kill, "kill", true, "SIGKILL a subordinate mid-run and restart it later")
@@ -90,6 +93,13 @@ type clusterConfig struct {
 	// Paxos Commit exists for.
 	KillMidCommit bool
 	Retry         time.Duration
+	// Shards, when positive, shards the keyspace: every node gets
+	// -shards/-sites, the driver checks map agreement over ctl, and
+	// the workload becomes keyspace-aware — writes routed to shard
+	// home sites, participant sets derived from the shards touched,
+	// uniform keys plus a hot-key skew, verified by the cross-shard
+	// atomicity oracle.
+	Shards int
 }
 
 // report is the run's outcome summary.
@@ -109,10 +119,19 @@ type report struct {
 	Dropped    int      `json:"datagrams_dropped"`
 	Oversize   int      `json:"oversize_refusals"`
 	Violations []string `json:"violations"`
+	// Sharded-workload fields; omitted (legacy report unchanged) when
+	// -shards is off.
+	Shards              int `json:"shards,omitempty"`
+	CrossShard          int `json:"cross_shard,omitempty"`
+	CrossShardCommitted int `json:"cross_shard_committed,omitempty"`
 }
 
 func (r *report) print(w *os.File) {
 	fmt.Fprintf(w, "camelot-cluster: %d nodes, %d txns, seed %d\n", r.Nodes, r.Txns, r.Seed)
+	if r.Shards > 0 {
+		fmt.Fprintf(w, "  sharding: %d shards; %d cross-shard txns, %d committed\n",
+			r.Shards, r.CrossShard, r.CrossShardCommitted)
+	}
 	fmt.Fprintf(w, "  outcomes: %d committed, %d aborted, %d unknown, %d skipped\n",
 		r.Committed, r.Aborted, r.Unknown, r.Skipped)
 	fmt.Fprintf(w, "  transport: %d sent, %d received, %d dropped, %d oversize\n",
@@ -136,20 +155,24 @@ type proc struct {
 	cmd     *exec.Cmd
 	client  *ctl.Client
 	down    bool
+	extra   []string // extra daemon flags, reused across restarts
 }
 
 // spawn starts a camelot-node and parses its READY line. listen and
 // control are "127.0.0.1:0" on first start and the node's previous
 // concrete addresses on a restart, so the rest of the cluster's peer
-// maps stay valid across the bounce.
-func spawn(bin string, site camelot.SiteID, wal, listen, control string, retry time.Duration) (*proc, error) {
-	cmd := exec.Command(bin,
+// maps stay valid across the bounce. extra flags (the shard map's
+// -shards/-sites) are replayed verbatim on every incarnation.
+func spawn(bin string, site camelot.SiteID, wal, listen, control string, retry time.Duration, extra ...string) (*proc, error) {
+	args := []string{
 		"-site", fmt.Sprint(uint32(site)),
 		"-wal", wal,
 		"-listen", listen,
 		"-control", control,
 		"-retry", retry.String(),
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -195,7 +218,7 @@ func spawn(bin string, site camelot.SiteID, wal, listen, control string, retry t
 			cmd.Wait()         //nolint:errcheck // reap
 			return nil, err
 		}
-		return &proc{site: site, wal: wal, udpAddr: r.udp, ctlAddr: r.ctl, cmd: cmd, client: client}, nil
+		return &proc{site: site, wal: wal, udpAddr: r.udp, ctlAddr: r.ctl, cmd: cmd, client: client, extra: extra}, nil
 	case <-time.After(30 * time.Second):
 		cmd.Process.Kill() //nolint:errcheck // already failing
 		cmd.Wait()         //nolint:errcheck // reap
@@ -218,7 +241,7 @@ func (p *proc) kill() {
 // restart brings a killed node back on its previous addresses; the
 // daemon replays the WAL before printing READY.
 func (p *proc) restart(bin string, retry time.Duration) error {
-	np, err := spawn(bin, p.site, p.wal, p.udpAddr, p.ctlAddr, retry)
+	np, err := spawn(bin, p.site, p.wal, p.udpAddr, p.ctlAddr, retry, p.extra...)
 	if err != nil {
 		return err
 	}
@@ -274,6 +297,25 @@ func runCluster(cfg clusterConfig) (*report, error) {
 		return nil, err
 	}
 
+	// The sharded deployment's map, built driver-side from the same
+	// inputs the nodes get as flags; agreement is verified over ctl
+	// after boot.
+	var smap *shardmap.Map
+	var extra []string
+	if cfg.Shards > 0 {
+		ids := make([]camelot.SiteID, cfg.Nodes)
+		var idList []string
+		for i := range ids {
+			ids[i] = camelot.SiteID(i + 1)
+			idList = append(idList, fmt.Sprint(i+1))
+		}
+		smap, err = shardmap.New(1, cfg.Shards, ids)
+		if err != nil {
+			return nil, err
+		}
+		extra = []string{"-shards", fmt.Sprint(cfg.Shards), "-sites", strings.Join(idList, ",")}
+	}
+
 	// Boot every site, collect addresses, then tell everyone about
 	// everyone: nodes bind :0 before the full address map can exist,
 	// which is exactly the startup race the transport's handler-less
@@ -288,12 +330,30 @@ func runCluster(cfg clusterConfig) (*report, error) {
 	for i := 1; i <= cfg.Nodes; i++ {
 		id := camelot.SiteID(i)
 		p, err := spawn(bin, id, filepath.Join(dir, fmt.Sprintf("site%d.wal", i)),
-			"127.0.0.1:0", "127.0.0.1:0", cfg.Retry)
+			"127.0.0.1:0", "127.0.0.1:0", cfg.Retry, extra...)
 		if err != nil {
 			return nil, err
 		}
 		procs[id] = p
 		sites = append(sites, id)
+	}
+	if smap != nil {
+		// Every member must route every key identically; a disagreement
+		// here would corrupt data silently, so it is fatal before any
+		// traffic flows.
+		want, err := smap.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range sites {
+			got, err := procs[id].client.ShardMap()
+			if err != nil {
+				return nil, fmt.Errorf("site %d: shard map: %w", id, err)
+			}
+			if !bytes.Equal(got, want) {
+				return nil, fmt.Errorf("site %d shard map disagrees:\n  node:   %s  driver: %s", id, got, want)
+			}
+		}
 	}
 	peers := make(map[camelot.SiteID]string, len(sites))
 	for id, p := range procs {
@@ -319,7 +379,8 @@ func runCluster(cfg clusterConfig) (*report, error) {
 	victim := sites[len(sites)-1]
 	killAt, restartAt := cfg.Txns/3, 2*cfg.Txns/3
 	rep := &report{Schema: ReportSchema, Nodes: cfg.Nodes, Txns: cfg.Txns, Seed: cfg.Seed,
-		Protocol: cfg.Protocol, Killed: int(victim), Violations: []string{}}
+		Protocol: cfg.Protocol, Killed: int(victim), Violations: []string{},
+		Shards: cfg.Shards}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	txns := make([]oracle.Txn, cfg.Txns)
@@ -330,10 +391,17 @@ func runCluster(cfg clusterConfig) (*report, error) {
 				// SIGKILLed with its commit in flight; the survivors
 				// must resolve it — and release its locks — before the
 				// coordinator ever comes back.
-				txns[i] = runTxnKillCoordinator(i, sites, procs, cfg.Protocol, victim)
-				time.Sleep(20 * cfg.Retry)
-				rep.Violations = append(rep.Violations,
-					survivorsResolved(sites, procs, txns[i])...)
+				if smap != nil {
+					txns[i] = runShardTxnKillCoordinator(i, procs, cfg.Protocol, victim, smap)
+					time.Sleep(20 * cfg.Retry)
+					rep.Violations = append(rep.Violations,
+						shardSurvivorsResolved(sites, procs, txns[i])...)
+				} else {
+					txns[i] = runTxnKillCoordinator(i, sites, procs, cfg.Protocol, victim)
+					time.Sleep(20 * cfg.Retry)
+					rep.Violations = append(rep.Violations,
+						survivorsResolved(sites, procs, txns[i])...)
+				}
 				continue
 			}
 			procs[victim].kill()
@@ -346,16 +414,26 @@ func runCluster(cfg clusterConfig) (*report, error) {
 				return nil, err
 			}
 		}
-		txns[i] = runTxn(rng, i, sites, procs, cfg.Protocol)
+		if smap != nil {
+			txns[i] = runShardTxn(rng, i, sites, procs, cfg.Protocol, smap)
+		} else {
+			txns[i] = runTxn(rng, i, sites, procs, cfg.Protocol)
+		}
 	}
 
 	// Quiesce: let outcome retries, presumed-abort inquiries, and ack
 	// fan-ins finish against the healed cluster.
 	time.Sleep(20 * cfg.Retry)
 
+	// Sharded views route presence checks by key (empty server name);
+	// legacy views address the single "store" server.
+	oracleServer := "store"
+	if smap != nil {
+		oracleServer = ""
+	}
 	views := make(map[camelot.SiteID]oracle.SiteView, len(sites))
 	for _, id := range sites {
-		views[id] = &ctl.View{C: procs[id].client, Server: "store"}
+		views[id] = &ctl.View{C: procs[id].client, Server: oracleServer}
 	}
 	for _, v := range oracle.CheckViews(sites, views, txns) {
 		rep.Violations = append(rep.Violations, v.String())
@@ -389,7 +467,7 @@ func runCluster(cfg clusterConfig) (*report, error) {
 		// In-doubt survivors resolve by inquiry once everyone is back.
 		time.Sleep(20 * cfg.Retry)
 		for _, id := range sites {
-			views[id] = &ctl.View{C: procs[id].client, Server: "store"}
+			views[id] = &ctl.View{C: procs[id].client, Server: oracleServer}
 		}
 		for _, v := range oracle.CheckViews(sites, views, txns) {
 			rep.Violations = append(rep.Violations, "durability: "+v.String())
@@ -407,8 +485,28 @@ func runCluster(cfg clusterConfig) (*report, error) {
 		default:
 			rep.Unknown++
 		}
+		if crossShard(tx) {
+			rep.CrossShard++
+			if tx.Outcome == oracle.Committed {
+				rep.CrossShardCommitted++
+			}
+		}
 	}
 	return rep, nil
+}
+
+// crossShard reports whether a sharded transaction's write set spans
+// more than one home site.
+func crossShard(tx oracle.Txn) bool {
+	if len(tx.Writes) == 0 {
+		return false
+	}
+	for _, w := range tx.Writes[1:] {
+		if w.Site != tx.Writes[0].Site {
+			return true
+		}
+	}
+	return false
 }
 
 // runTxn drives one workload transaction: a random up coordinator, a
@@ -548,12 +646,19 @@ func runTxnKillCoordinator(i int, sites []camelot.SiteID, procs map[camelot.Site
 		return tx
 	}
 
+	var witnesses []*proc
+	for _, id := range sites {
+		if id != coord {
+			witnesses = append(witnesses, procs[id])
+		}
+	}
+	before := settleRecv(witnesses, time.Second)
 	done := make(chan error, 1)
 	go func() {
 		_, err := procs[coord].client.CommitWith(t, protocol)
 		done <- err
 	}()
-	time.Sleep(time.Millisecond)
+	waitCommitUnderway(witnesses, before, time.Second)
 	procs[coord].kill()
 	switch err := <-done; {
 	case err == nil:
@@ -564,6 +669,83 @@ func runTxnKillCoordinator(i int, sites []camelot.SiteID, procs map[camelot.Site
 		tx.Outcome = oracle.Unknown
 	}
 	return tx
+}
+
+// recvCount reads a node's datagram-receive counter; errors read as
+// zero, which only makes the callers wait out their caps.
+func recvCount(p *proc) int {
+	if s, err := p.client.TransportStats(); err == nil {
+		return s.Recv
+	}
+	return 0
+}
+
+// settleRecv waits until every witness's datagram-receive counter
+// stops moving (two consecutive reads a beat apart agree), then
+// returns the settled counts. Gating the mid-commit kill on counter
+// growth is only sound if stragglers from earlier transactions — lazy
+// acks, retries — cannot supply the growth themselves.
+func settleRecv(witnesses []*proc, cap time.Duration) []int {
+	last := make([]int, len(witnesses))
+	for i, w := range witnesses {
+		last[i] = recvCount(w)
+	}
+	deadline := time.Now().Add(cap)
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		stable := true
+		for i, w := range witnesses {
+			if n := recvCount(w); n != last[i] {
+				last[i] = n
+				stable = false
+			}
+		}
+		if stable {
+			break
+		}
+	}
+	return last
+}
+
+// waitCommitUnderway polls the surviving participants' datagram-
+// receive counters until the victim's commit fan-out observably
+// reached every one of them (or the cap expires). Killing the
+// coordinator before the prepares escape would leave the survivors
+// active orphans of a transaction nobody can resolve until the
+// coordinator returns — legitimate commitment semantics, but the
+// survivors-resolve check is only meaningful once commitment actually
+// began everywhere.
+func waitCommitUnderway(witnesses []*proc, before []int, cap time.Duration) {
+	deadline := time.Now().Add(cap)
+	for time.Now().Before(deadline) {
+		grown := true
+		for i, w := range witnesses {
+			if recvCount(w) <= before[i] {
+				grown = false
+				break
+			}
+		}
+		if grown {
+			return
+		}
+	}
+}
+
+// probeLockRetry runs a lock-reacquisition probe, retrying briefly on
+// failure: the survivors resolve the orphaned transaction on their
+// own timers, and under CPU load (a parallel test suite, a busy CI
+// host) resolution can land moments after the kill settles. The
+// coordinator stays down for the whole window, so a success on any
+// attempt still demonstrates non-blocking resolution.
+func probeLockRetry(probe func() error) error {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		err := probe()
+		if err == nil || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // survivorsResolved checks, while the killed coordinator is still
@@ -584,13 +766,18 @@ func survivorsResolved(sites []camelot.SiteID, procs map[camelot.SiteID]*proc, t
 		// Re-acquire the transaction's own lock under a throwaway
 		// transaction: if the commit protocol is blocked on the dead
 		// coordinator, this write blocks too.
-		if pt, err := p.client.Begin(); err != nil {
-			out = append(out, fmt.Sprintf("non-blocking: site %d: begin: %v", id, err))
-		} else {
-			if err := p.client.Write("store", pt, tx.Key, []byte("probe")); err != nil {
-				out = append(out, fmt.Sprintf("non-blocking: site %d: %q still locked with coordinator down: %v", id, tx.Key, err))
+		if err := probeLockRetry(func() error {
+			pt, err := p.client.Begin()
+			if err != nil {
+				return fmt.Errorf("begin: %w", err)
 			}
-			p.client.Abort(pt) //nolint:errcheck // probe cleanup
+			defer p.client.Abort(pt) //nolint:errcheck // probe cleanup
+			if err := p.client.Write("store", pt, tx.Key, []byte("probe")); err != nil {
+				return fmt.Errorf("%q still locked: %w", tx.Key, err)
+			}
+			return nil
+		}); err != nil {
+			out = append(out, fmt.Sprintf("non-blocking: site %d: %v with coordinator down", id, err))
 		}
 		_, ok, err := p.client.Peek("store", tx.Key)
 		if err != nil {

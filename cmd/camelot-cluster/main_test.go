@@ -53,6 +53,88 @@ func TestClusterSmoke(t *testing.T) {
 		rep.Committed, rep.Aborted, rep.Unknown, rep.Skipped, rep.Sent, rep.Recv, rep.Dropped)
 }
 
+// TestClusterShardedSmoke is the acceptance test for the sharded data
+// tier on real processes: 4 shards over 3 sites, a keyspace-aware
+// workload whose transactions straddle shards on distinct sites under
+// all three commit protocols (the per-txn cycle), a mid-run SIGKILL
+// and restart of one site, and the cross-shard atomicity oracle
+// checked both live and after the full durability bounce.
+func TestClusterShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "camelot-node")
+	build := exec.Command("go", "build", "-o", bin, "camelot/cmd/camelot-node")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building camelot-node: %v\n%s", err, out)
+	}
+
+	rep, err := runCluster(clusterConfig{
+		Nodes:   3,
+		Txns:    40,
+		Seed:    1,
+		Shards:  4,
+		NodeBin: bin,
+		Bounce:  true,
+		Kill:    true,
+		Retry:   25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	if rep.Committed == 0 {
+		t.Error("no transaction committed; the workload exercised nothing")
+	}
+	if rep.CrossShardCommitted == 0 {
+		t.Error("no cross-shard transaction committed; the sharded workload exercised nothing")
+	}
+	if rep.Sent == 0 || rep.Recv == 0 {
+		t.Errorf("no real datagrams flowed (sent=%d recv=%d)", rep.Sent, rep.Recv)
+	}
+	t.Logf("outcomes: %d committed (%d/%d cross-shard), %d aborted, %d unknown, %d skipped",
+		rep.Committed, rep.CrossShardCommitted, rep.CrossShard, rep.Aborted, rep.Unknown, rep.Skipped)
+}
+
+// TestClusterShardedMidCommitKill aims the SIGKILL at the coordinator
+// of a cross-shard transaction under the sharded tier: the survivors
+// must resolve their shards (locks re-acquirable, pieces agreeing)
+// while the coordinator is still down.
+func TestClusterShardedMidCommitKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "camelot-node")
+	build := exec.Command("go", "build", "-o", bin, "camelot/cmd/camelot-node")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building camelot-node: %v\n%s", err, out)
+	}
+
+	rep, err := runCluster(clusterConfig{
+		Nodes:         3,
+		Txns:          40,
+		Seed:          3,
+		Shards:        4,
+		Protocol:      "paxos",
+		NodeBin:       bin,
+		Bounce:        true,
+		Kill:          true,
+		KillMidCommit: true,
+		Retry:         25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	if rep.CrossShardCommitted == 0 {
+		t.Error("no cross-shard transaction committed; the sharded workload exercised nothing")
+	}
+}
+
 // TestClusterPaxosSmoke is the real-process acceptance test for Paxos
 // Commit's headline property: every commit runs -protocol=paxos at
 // F=1, and the fault schedule SIGKILLs the coordinator of an all-site

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/ctl"
+	"camelot/internal/oracle"
+	"camelot/internal/shardmap"
+)
+
+// shardProtocols is the deterministic per-transaction protocol cycle
+// used when no -protocol is pinned: the sharded run exercises
+// cross-shard commitment under all three protocols.
+var shardProtocols = []string{"2pc", "nb", "paxos"}
+
+// keyHomedAt finds a key under prefix whose shard homes at site, by
+// deterministic candidate search — a pure function of (map, prefix,
+// site), so the workload for a seed is identical on every run.
+func keyHomedAt(m *shardmap.Map, prefix string, site camelot.SiteID) (string, error) {
+	for c := 0; c < 4096; c++ {
+		k := fmt.Sprintf("%s.%d", prefix, c)
+		if m.SiteOf(k) == site {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("no key under %q homes at site %d (map has no shard there?)", prefix, site)
+}
+
+// runShardTxn drives one keyspace-aware workload transaction: a key
+// set drawn uniformly over the sites (deliberately straddling shards
+// on distinct sites most of the time), sometimes one of eight shared
+// hot keys (the skew), each write routed to its key's home site, the
+// participant set derived from the shards touched, and the commit run
+// by the per-transaction protocol cycle (or the pinned -protocol).
+func runShardTxn(rng *rand.Rand, i int, sites []camelot.SiteID, procs map[camelot.SiteID]*proc,
+	protocol string, m *shardmap.Map) oracle.Txn {
+
+	// Draw the whole schedule before consulting liveness, so a seed
+	// names one deterministic workload regardless of timing. Targets
+	// come from the map's placed sites: a site hosting no shard can
+	// never be written, only coordinate.
+	placed := m.Sites()
+	nTargets := 1
+	if len(placed) > 1 && rng.Float64() < 0.75 {
+		nTargets = 2 + rng.Intn(len(placed)-1) // cross-shard, usually
+	}
+	perm := rng.Perm(len(placed))
+	withHot := rng.Float64() < 0.35
+	hotPick := rng.Intn(8)
+	if protocol == "" {
+		protocol = shardProtocols[i%len(shardProtocols)]
+	}
+
+	writes := []oracle.Write{}
+	for j := 0; j < nTargets; j++ {
+		target := placed[perm[j]]
+		key, err := keyHomedAt(m, fmt.Sprintf("t%04d.x%d", i, j), target)
+		if err != nil {
+			continue // a site with no shards simply drops out of the write set
+		}
+		writes = append(writes, oracle.Write{Key: key, Site: target})
+	}
+	if withHot {
+		hot := fmt.Sprintf("hot%d", hotPick)
+		if home := m.SiteOf(hot); home != 0 {
+			dup := false
+			for _, w := range writes {
+				dup = dup || w.Key == hot
+			}
+			if !dup {
+				writes = append(writes, oracle.Write{Key: hot, Site: home, Shared: true})
+			}
+		}
+	}
+	tx := oracle.Txn{Outcome: oracle.Skipped, Writes: writes}
+	if len(writes) == 0 {
+		return tx
+	}
+	tx.Key = writes[0].Key
+
+	// The coordinator is the first key's home: always a participant,
+	// so the commit instance never needs a site outside the write set.
+	coord := writes[0].Site
+	if procs[coord].down {
+		return tx
+	}
+	t, err := procs[coord].client.Begin()
+	if err != nil {
+		return tx
+	}
+	tx.Family = t.Family
+
+	ok := true
+	participants := map[camelot.SiteID]bool{coord: true}
+	for _, w := range writes {
+		if procs[w.Site].down {
+			ok = false
+			break
+		}
+		if err := procs[w.Site].client.WriteKey(t, w.Key, []byte(fmt.Sprintf("v%d@%d", i, w.Site))); err != nil {
+			ok = false
+			break
+		}
+		participants[w.Site] = true
+	}
+	if !ok {
+		procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+		tx.Outcome = oracle.Aborted
+		return tx
+	}
+	var remote []camelot.SiteID
+	for _, id := range sites {
+		if participants[id] && id != coord {
+			remote = append(remote, id)
+		}
+	}
+	if len(remote) > 0 {
+		if err := procs[coord].client.AddSites(t, remote); err != nil {
+			procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+			tx.Outcome = oracle.Aborted
+			return tx
+		}
+	}
+	_, err = procs[coord].client.CommitWith(t, protocol)
+	switch {
+	case err == nil:
+		tx.Outcome = oracle.Committed
+	case errors.Is(err, ctl.ErrAborted):
+		tx.Outcome = oracle.Aborted
+	default:
+		tx.Outcome = oracle.Unknown
+	}
+	return tx
+}
+
+// runShardTxnKillCoordinator is the sharded mid-commit kill: the
+// victim coordinates a transaction whose write set straddles a shard
+// on every site, its commit is issued on a separate goroutine, and
+// the process is SIGKILLed a moment later. The survivors must resolve
+// their shards of the transaction on their own.
+func runShardTxnKillCoordinator(i int, procs map[camelot.SiteID]*proc,
+	protocol string, coord camelot.SiteID, m *shardmap.Map) oracle.Txn {
+
+	if protocol == "" {
+		protocol = shardProtocols[i%len(shardProtocols)]
+	}
+	writes := []oracle.Write{}
+	for j, id := range m.Sites() {
+		key, err := keyHomedAt(m, fmt.Sprintf("t%04d.x%d", i, j), id)
+		if err != nil {
+			continue
+		}
+		writes = append(writes, oracle.Write{Key: key, Site: id})
+	}
+	tx := oracle.Txn{Outcome: oracle.Skipped, Writes: writes}
+	if len(writes) == 0 {
+		return tx
+	}
+	tx.Key = writes[0].Key
+
+	t, err := procs[coord].client.Begin()
+	if err != nil {
+		return tx
+	}
+	tx.Family = t.Family
+	var remote []camelot.SiteID
+	for _, w := range writes {
+		if err := procs[w.Site].client.WriteKey(t, w.Key, []byte(fmt.Sprintf("v%d@%d", i, w.Site))); err != nil {
+			procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+			tx.Outcome = oracle.Aborted
+			return tx
+		}
+		if w.Site != coord {
+			remote = append(remote, w.Site)
+		}
+	}
+	if err := procs[coord].client.AddSites(t, remote); err != nil {
+		procs[coord].client.Abort(t) //nolint:errcheck // recorded as aborted regardless
+		tx.Outcome = oracle.Aborted
+		return tx
+	}
+
+	var witnesses []*proc
+	for _, w := range writes {
+		if w.Site != coord {
+			witnesses = append(witnesses, procs[w.Site])
+		}
+	}
+	before := settleRecv(witnesses, time.Second)
+	done := make(chan error, 1)
+	go func() {
+		_, err := procs[coord].client.CommitWith(t, protocol)
+		done <- err
+	}()
+	waitCommitUnderway(witnesses, before, time.Second)
+	procs[coord].kill()
+	switch err := <-done; {
+	case err == nil:
+		tx.Outcome = oracle.Committed
+	case errors.Is(err, ctl.ErrAborted):
+		tx.Outcome = oracle.Aborted
+	default:
+		tx.Outcome = oracle.Unknown
+	}
+	return tx
+}
+
+// shardSurvivorsResolved checks, while the killed coordinator is
+// still down, that every surviving site resolved its shard of the
+// transaction: the survivor's own key must be re-lockable (a blocked
+// protocol would leak the lock) and the survivors' pieces of the
+// write set must agree — all landed or none did.
+func shardSurvivorsResolved(sites []camelot.SiteID, procs map[camelot.SiteID]*proc, tx oracle.Txn) []string {
+	var out []string
+	type piece struct {
+		site    camelot.SiteID
+		key     string
+		present bool
+	}
+	var pieces []piece
+	for _, w := range tx.Writes {
+		p := procs[w.Site]
+		if p.down {
+			continue
+		}
+		if err := probeLockRetry(func() error {
+			pt, err := p.client.Begin()
+			if err != nil {
+				return fmt.Errorf("begin: %w", err)
+			}
+			defer p.client.Abort(pt) //nolint:errcheck // probe cleanup
+			if err := p.client.WriteKey(pt, w.Key, []byte("probe")); err != nil {
+				return fmt.Errorf("%q still locked: %w", w.Key, err)
+			}
+			return nil
+		}); err != nil {
+			out = append(out, fmt.Sprintf("non-blocking: site %d: %v with coordinator down", w.Site, err))
+		}
+		_, ok, err := p.client.PeekKey(w.Key)
+		if err != nil {
+			out = append(out, fmt.Sprintf("non-blocking: site %d: peek %q: %v", w.Site, w.Key, err))
+			continue
+		}
+		pieces = append(pieces, piece{site: w.Site, key: w.Key, present: ok})
+	}
+	if len(pieces) == 0 {
+		return out
+	}
+	for _, p := range pieces[1:] {
+		if p.present != pieces[0].present {
+			out = append(out, fmt.Sprintf("non-blocking: survivors' shards disagree with coordinator down: site %d %q=%v, site %d %q=%v",
+				pieces[0].site, pieces[0].key, pieces[0].present, p.site, p.key, p.present))
+		}
+	}
+	return out
+}

@@ -22,12 +22,32 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"camelot/camelot"
 	"camelot/internal/ctl"
+	"camelot/internal/shardmap"
 )
+
+// parseSites parses a comma-separated site-id list ("1,2,3").
+func parseSites(s string) ([]camelot.SiteID, error) {
+	var out []camelot.SiteID
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad site id %q: %w", f, err)
+		}
+		out = append(out, camelot.SiteID(id))
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -38,6 +58,8 @@ func main() {
 		server   = flag.String("server", "store", "data server name")
 		retry    = flag.Duration("retry", 50*time.Millisecond, "coordinator retry interval (masks datagram loss)")
 		protocol = flag.String("protocol", "", "default commit protocol: 2pc, nb, or paxos (empty: per-request flags decide)")
+		shards   = flag.Int("shards", 0, "shard count for the sharded data tier (0: legacy single -server)")
+		sites    = flag.String("sites", "", "comma-separated site ids of the deployment, in placement order (required with -shards)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("camelot-node[site%d]: ", *site))
@@ -61,6 +83,20 @@ func main() {
 	cfg.RetryInterval = *retry
 	cfg.InquireInterval = *retry
 	cfg.Logf = log.Printf
+	if *shards > 0 {
+		// Every member builds the same map from the same flags
+		// (shardmap.New is deterministic); the driver verifies
+		// agreement over ctl before running traffic.
+		ids, err := parseSites(*sites)
+		if err != nil {
+			log.Fatalf("-sites: %v", err)
+		}
+		m, err := shardmap.New(1, *shards, ids)
+		if err != nil {
+			log.Fatalf("shard map: %v", err)
+		}
+		cfg.ShardMap = m
+	}
 
 	node, err := camelot.StartRealNode(cfg)
 	if err != nil {

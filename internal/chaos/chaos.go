@@ -9,6 +9,7 @@ import (
 	"camelot/camelot"
 	"camelot/internal/oracle"
 	"camelot/internal/params"
+	"camelot/internal/shardmap"
 	"camelot/internal/sim"
 	"camelot/internal/tid"
 	"camelot/internal/wal"
@@ -67,6 +68,9 @@ func Run(s Schedule) (*Result, error) {
 			return nil, err
 		}
 	}
+	if s.Shards < 0 {
+		return nil, fmt.Errorf("chaos: negative shard count %d", s.Shards)
+	}
 	e := &engine{sched: s, msgFaults: make(map[int]Fault)}
 	return e.run()
 }
@@ -79,6 +83,7 @@ type engine struct {
 	k      *sim.Kernel
 	c      *camelot.Cluster
 	sites  []camelot.SiteID
+	smap   *shardmap.Map // nil unless the schedule shards the keyspace
 	stores []*FaultStore // parallel to sites
 
 	mu        sync.Mutex
@@ -134,10 +139,25 @@ func (e *engine) run() (*Result, error) {
 		return fs
 	}
 	e.c = camelot.NewCluster(e.k, cfg)
-	for i := 1; i <= s.Sites; i++ {
-		id := camelot.SiteID(i)
-		e.sites = append(e.sites, id)
-		e.c.AddNode(id).AddServer(srvName(id))
+	if s.Shards > 0 {
+		for i := 1; i <= s.Sites; i++ {
+			e.sites = append(e.sites, camelot.SiteID(i))
+		}
+		m, err := shardmap.New(1, s.Shards, e.sites)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: shard map: %w", err)
+		}
+		e.smap = m
+		e.c.SetShardMap(m)
+		for _, id := range e.sites {
+			e.c.AddNode(id).AddShardServers()
+		}
+	} else {
+		for i := 1; i <= s.Sites; i++ {
+			id := camelot.SiteID(i)
+			e.sites = append(e.sites, id)
+			e.c.AddNode(id).AddServer(srvName(id))
+		}
 	}
 
 	// Arm the stable-store faults.
@@ -159,7 +179,11 @@ func (e *engine) run() (*Result, error) {
 	txns := make([]oracle.Txn, s.Txns)
 	var violations []string
 	e.k.Go("chaos-client", func() {
-		e.workload(txns)
+		if e.smap != nil {
+			e.shardWorkload(txns)
+		} else {
+			e.workload(txns)
+		}
 		violations = e.verify(txns)
 		e.k.Stop()
 	})
@@ -285,6 +309,96 @@ func (e *engine) workload(txns []oracle.Txn) {
 	}
 }
 
+// shardKeyAt finds a key under prefix whose shard homes at site, by
+// deterministic candidate search — a pure function of (map, prefix,
+// site), so the sharded workload for a seed is identical every run.
+func shardKeyAt(m *shardmap.Map, prefix string, site camelot.SiteID) (string, bool) {
+	for c := 0; c < 4096; c++ {
+		k := fmt.Sprintf("%s.%d", prefix, c)
+		if m.SiteOf(k) == site {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// shardWorkload is the keyspace-aware counterpart of workload: each
+// transaction writes one key homed at every placed site — distinct
+// keys on distinct shards, so commitment must be atomic across shards
+// rather than replicas — and every third transaction also touches a
+// rotating shared hot key (the skew). Writes route by key through the
+// shard map; the schedule is a pure function of the txn index, so the
+// fault-point enumeration stays deterministic.
+func (e *engine) shardWorkload(txns []oracle.Txn) {
+	placed := e.smap.Sites()
+	for i := range txns {
+		writes := []oracle.Write{}
+		for j, id := range placed {
+			key, ok := shardKeyAt(e.smap, fmt.Sprintf("k%d.x%d", i, j), id)
+			if !ok {
+				continue
+			}
+			writes = append(writes, oracle.Write{Key: key, Site: id})
+		}
+		if i%3 == 0 {
+			hot := fmt.Sprintf("hot%d", i%5)
+			if home := e.smap.SiteOf(hot); home != 0 {
+				writes = append(writes, oracle.Write{Key: hot, Site: home, Shared: true})
+			}
+		}
+		txns[i] = oracle.Txn{Outcome: oracle.Skipped, Writes: writes}
+		if len(writes) == 0 {
+			continue
+		}
+		txns[i].Key = writes[0].Key
+
+		// The coordinator may be mid-restart; retry Begin through it.
+		var tx *camelot.Tx
+		for attempt := 0; attempt < 40; attempt++ {
+			var err error
+			if tx, err = e.c.Node(1).Begin(); err == nil {
+				break
+			}
+			tx = nil
+			e.k.Sleep(100 * time.Millisecond)
+		}
+		if tx == nil {
+			continue
+		}
+		txns[i].Family = tx.ID().Family
+
+		ok := true
+		for _, w := range writes {
+			if err := tx.WriteKey(w.Key, []byte("v")); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			tx.Abort() //nolint:errcheck // outcome recorded as aborted either way
+			txns[i].Outcome = oracle.Aborted
+		} else {
+			err := tx.CommitWith(e.sched.commitOptions())
+			switch {
+			case err == nil:
+				txns[i].Outcome = oracle.Committed
+			case errors.Is(err, camelot.ErrAborted):
+				txns[i].Outcome = oracle.Aborted
+			default:
+				txns[i].Outcome = oracle.Unknown
+			}
+		}
+
+		if (i+1)%4 == 0 {
+			ck := e.sites[(i/4)%len(e.sites)]
+			if !e.c.Node(ck).Crashed() {
+				e.c.Node(ck).Checkpoint() //nolint:errcheck // injected ckpt faults surface here
+			}
+		}
+		e.k.Sleep(20 * time.Millisecond)
+	}
+}
+
 // verify heals the world, lets the protocol quiesce, and runs the
 // oracle twice: once on the settled cluster, and once more after
 // bouncing every site — updates that survive the second pass were
@@ -316,7 +430,7 @@ func (e *engine) verify(txns []oracle.Txn) []string {
 	// eternity of retries.
 	e.k.Sleep(10 * time.Second)
 
-	ocfg := oracle.Config{Sites: e.sites, ServerOf: srvName}
+	ocfg := oracle.Config{Sites: e.sites, ServerOf: srvName, ShardMap: e.smap}
 	var out []string
 	e.mu.Lock()
 	out = append(out, e.recovery...)

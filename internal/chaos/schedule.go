@@ -122,6 +122,12 @@ type Schedule struct {
 	Protocol string `json:"protocol,omitempty"`
 	// Txns is the number of workload transactions.
 	Txns int `json:"txns"`
+	// Shards, when positive, shards the keyspace into that many shards
+	// round-robin over the sites and runs the keyspace-aware cross-shard
+	// workload instead of the replicated-key one. Zero (the default,
+	// omitted from the encoding so the existing corpus is untouched)
+	// keeps the legacy single-server-per-site layout.
+	Shards int `json:"shards,omitempty"`
 	// Faults is the set to inject; empty means a fault-free pilot.
 	Faults []Fault `json:"faults"`
 	// Note is free-form provenance ("pins DESIGN §7 bug 1", ...).
@@ -154,6 +160,9 @@ func DecodeSchedule(b []byte) (Schedule, error) {
 	}
 	if s.Sites < 1 || s.Txns < 1 {
 		return Schedule{}, fmt.Errorf("chaos: schedule needs sites and txns")
+	}
+	if s.Shards < 0 {
+		return Schedule{}, fmt.Errorf("chaos: negative shard count %d", s.Shards)
 	}
 	if !validProtocol(s.Protocol) {
 		return Schedule{}, fmt.Errorf("chaos: unknown protocol %q", s.Protocol)

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// shardPilot runs the fault-free sharded schedule once and
+// sanity-checks it.
+func shardPilot(t *testing.T, shards int) *Result {
+	t.Helper()
+	r, err := Run(Schedule{Version: Version, Seed: 1, Sites: 3, Txns: 6, Shards: shards})
+	if err != nil {
+		t.Fatalf("sharded pilot: %v", err)
+	}
+	if r.Failed() {
+		t.Fatalf("fault-free sharded pilot failed: %v %v", r.Violations, r.Deadlock)
+	}
+	return r
+}
+
+func TestShardedPilotCommitsCrossShard(t *testing.T) {
+	r := shardPilot(t, 4)
+	for _, o := range r.Outcomes {
+		if o != "committed" {
+			t.Errorf("fault-free sharded outcome %q, want committed", o)
+		}
+	}
+	// The sharded workload forces shard-scoped log records: shard
+	// server names must show up in the enumerated force points.
+	sawShard := false
+	for _, p := range r.Points {
+		if p.Class == ClassForce && strings.Contains(p.Label, "COMMIT") {
+			sawShard = true
+		}
+	}
+	if !sawShard {
+		t.Error("no force point labeled COMMIT in the sharded pilot")
+	}
+}
+
+// TestShardedPilotShardlessSite covers shards < sites: round-robin
+// placement leaves site 3 with no shard, so the workload, the
+// liveness probe, and the durability bounce must all tolerate a
+// data-less participant.
+func TestShardedPilotShardlessSite(t *testing.T) {
+	shardPilot(t, 2)
+}
+
+func TestShardedSingleFaultRunsSurviveOracle(t *testing.T) {
+	base := Schedule{Version: Version, Seed: 1, Sites: 3, Txns: 6, Shards: 4}
+	faults := []Fault{
+		{Class: ClassMsg, Index: 30, Mode: ModeDrop},
+		{Class: ClassMsg, Index: 50, Mode: ModeCrash},
+		{Class: ClassForce, Site: 2, Index: 2, Mode: ModeTorn},
+		{Class: ClassCkpt, Site: 1, Index: 0, Mode: ModeCrash},
+	}
+	for _, f := range faults {
+		s := base
+		s.Faults = []Fault{f}
+		r, err := Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if r.Failed() {
+			t.Errorf("%s: violations %v deadlock %q", f, r.Violations, r.Deadlock)
+		}
+	}
+}
+
+// TestShardedScheduleRoundTrip pins the chaos/v1 encoding: a sharded
+// schedule encodes its shard count, an unsharded one omits the field
+// entirely, so the pre-sharding repro corpus is byte-untouched.
+func TestShardedScheduleRoundTrip(t *testing.T) {
+	s := Schedule{Version: Version, Seed: 9, Sites: 3, Txns: 4, Shards: 4, Faults: []Fault{}}
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSchedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 4 {
+		t.Errorf("decoded Shards = %d, want 4", got.Shards)
+	}
+
+	s.Shards = 0
+	b, err = s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "shards") {
+		t.Errorf("unsharded schedule encodes a shards field:\n%s", b)
+	}
+}

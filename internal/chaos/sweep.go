@@ -19,6 +19,9 @@ type Options struct {
 	Seed int64
 	// Txns is the workload length.
 	Txns int
+	// Shards, when positive, shards the keyspace and sweeps the
+	// cross-shard workload (see Schedule.Shards).
+	Shards int
 	// MaxPoints caps how many enumerated injection points the sweep
 	// explores (0 = all of them). Points are sampled evenly across
 	// the enumeration, so a bounded sweep still covers the whole run.
@@ -42,6 +45,7 @@ type Report struct {
 	NonBlocking bool      `json:"nonblocking"`
 	Protocol    string    `json:"protocol,omitempty"`
 	Txns        int       `json:"txns"`
+	Shards      int       `json:"shards,omitempty"`
 	PointsTotal int       `json:"points_total"`
 	PointsRun   int       `json:"points_run"`
 	Runs        int       `json:"runs"`
@@ -88,6 +92,7 @@ func Sweep(opts Options, progress func(string)) (*Report, error) {
 		NonBlocking: opts.NonBlocking,
 		Protocol:    opts.Protocol,
 		Txns:        opts.Txns,
+		Shards:      opts.Shards,
 	}
 	say := func(format string, args ...any) {
 		if progress != nil {
@@ -108,6 +113,7 @@ func Sweep(opts Options, progress func(string)) (*Report, error) {
 		NonBlocking: opts.NonBlocking,
 		Protocol:    opts.Protocol,
 		Txns:        opts.Txns,
+		Shards:      opts.Shards,
 		PointsTotal: len(pilot.Points),
 		Failures:    []Failure{},
 	}

@@ -19,6 +19,34 @@ import (
 // drivers classify outcomes the same way an in-process client would.
 var ErrAborted = camelot.ErrAborted
 
+// Typed keyspace-routing errors, mirrored across the control plane
+// from the data tier (Response.Code carries the class; the client
+// rehydrates it so errors.Is works driver-side exactly as it does
+// in-process).
+var (
+	// ErrNoShard reports a key no shard map entry covers.
+	ErrNoShard = camelot.ErrNoShard
+	// ErrWrongSite reports a key whose home shard is hosted at a
+	// different site than the one addressed.
+	ErrWrongSite = camelot.ErrWrongSite
+	// ErrUnsharded reports a keyspace op against a node running
+	// without a shard map.
+	ErrUnsharded = errors.New("ctl: node runs without a shard map")
+)
+
+// codeError rehydrates a Response's typed error class.
+func codeError(resp Response) error {
+	switch resp.Code {
+	case CodeNoShard:
+		return fmt.Errorf("%w: %s", ErrNoShard, resp.Err)
+	case CodeWrongSite:
+		return fmt.Errorf("%w: %s", ErrWrongSite, resp.Err)
+	case CodeUnsharded:
+		return fmt.Errorf("%w: %s", ErrUnsharded, resp.Err)
+	}
+	return nil
+}
+
 // Client is one driver-side control connection to a camelot-node.
 // Requests on one Client are serialized; use one Client per
 // concurrent stream of work.
@@ -64,13 +92,17 @@ func (c *Client) Do(req Request) (Response, error) {
 	return resp, nil
 }
 
-// do performs an exchange and folds Response.Err into the error.
+// do performs an exchange and folds Response.Err into the error,
+// rehydrating typed routing errors from Response.Code.
 func (c *Client) do(req Request) (Response, error) {
 	resp, err := c.Do(req)
 	if err != nil {
 		return resp, err
 	}
 	if resp.Err != "" {
+		if terr := codeError(resp); terr != nil {
+			return resp, terr
+		}
 		return resp, errors.New(resp.Err)
 	}
 	return resp, nil
@@ -162,6 +194,35 @@ func (c *Client) Abort(t camelot.TID) error {
 func (c *Client) Peek(server, key string) ([]byte, bool, error) {
 	resp, err := c.do(Request{Op: OpPeek, Server: server, Key: key})
 	return resp.Val, resp.Present, err
+}
+
+// WriteKey writes key=val under t, routed by the node's shard map. A
+// key the node cannot serve fails with ErrNoShard or ErrWrongSite.
+func (c *Client) WriteKey(t camelot.TID, key string, val []byte) error {
+	_, err := c.do(Request{Op: OpWriteKey,
+		Family: uint64(t.Family), Seq: uint64(t.Seq), Key: key, Val: val})
+	return err
+}
+
+// ReadKey reads key under t, routed by the node's shard map.
+func (c *Client) ReadKey(t camelot.TID, key string) ([]byte, error) {
+	resp, err := c.do(Request{Op: OpReadKey,
+		Family: uint64(t.Family), Seq: uint64(t.Seq), Key: key})
+	return resp.Val, err
+}
+
+// PeekKey returns the committed value of key, routed by the node's
+// shard map, without a transaction.
+func (c *Client) PeekKey(key string) ([]byte, bool, error) {
+	resp, err := c.do(Request{Op: OpPeekKey, Key: key})
+	return resp.Val, resp.Present, err
+}
+
+// ShardMap fetches the node's canonical serialized shard map; drivers
+// check deployment agreement with bytes.Equal across nodes.
+func (c *Client) ShardMap() ([]byte, error) {
+	resp, err := c.do(Request{Op: OpShardMap})
+	return resp.ShardMap, err
 }
 
 // Outcome returns the node's resolved outcome for a family.

@@ -40,6 +40,20 @@ const (
 	OpOutcome  = "outcome"  // this site's resolved outcome for a family
 	OpProbe    = "probe"    // begin/write/abort liveness probe
 	OpStats    = "stats"    // transport counters
+	OpWriteKey = "writekey" // write Key=Val routed by the shard map under TID
+	OpReadKey  = "readkey"  // read Key routed by the shard map under TID
+	OpPeekKey  = "peekkey"  // committed value of Key routed by the shard map
+	OpShardMap = "shardmap" // the node's serialized shard map
+)
+
+// Typed error codes carried in Response.Code, so drivers classify
+// routing rejections without parsing error strings. A keyspace
+// request the site can never serve fails immediately with one of
+// these — loudly, instead of timing out.
+const (
+	CodeNoShard   = "no-shard"   // key belongs to no placed shard
+	CodeWrongSite = "wrong-site" // key's home shard is hosted elsewhere
+	CodeUnsharded = "unsharded"  // node runs without a shard map
 )
 
 // Request is one control-plane request. TIDs travel as their two
@@ -75,6 +89,11 @@ type Response struct {
 	Present bool   `json:"present,omitempty"`
 	Outcome string `json:"outcome,omitempty"`
 	Stats   *Stats `json:"stats,omitempty"`
+	// Code is the typed error class for keyspace routing rejections
+	// (CodeNoShard, CodeWrongSite, CodeUnsharded); empty otherwise.
+	Code string `json:"code,omitempty"`
+	// ShardMap is the node's canonical serialized shard map (OpShardMap).
+	ShardMap []byte `json:"shardmap,omitempty"`
 }
 
 // Stats carries the node's transport counters.
@@ -254,12 +273,55 @@ func (s *Server) handle(req Request) Response {
 	case OpOutcome:
 		return Response{OK: true, Outcome: n.OutcomeOf(tid.FamilyID(req.Family)).String()}
 
+	case OpWriteKey:
+		if err := n.WriteKey(t, req.Key, req.Val); err != nil {
+			return routeErrResponse(n, err)
+		}
+		return Response{OK: true}
+
+	case OpReadKey:
+		val, err := n.ReadKey(t, req.Key)
+		if err != nil {
+			return routeErrResponse(n, err)
+		}
+		return Response{OK: true, Val: val, Present: val != nil}
+
+	case OpPeekKey:
+		val, ok, err := n.PeekKey(req.Key)
+		if err != nil {
+			return routeErrResponse(n, err)
+		}
+		return Response{OK: true, Val: val, Present: ok}
+
+	case OpShardMap:
+		m := n.ShardMap()
+		if m == nil {
+			return Response{Err: "node runs without a shard map", Code: CodeUnsharded}
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{OK: true, ShardMap: b}
+
 	case OpProbe:
 		pt, err := n.Begin()
 		if err != nil {
 			return Response{Err: fmt.Sprintf("cannot begin after quiesce: %v", err)}
 		}
-		if err := n.Write(req.Server, pt, "oracle-probe", []byte("x")); err != nil {
+		// An empty server name probes whatever data server the site
+		// hosts; a site the shard map assigns nothing degrades to a
+		// begin/abort liveness check.
+		srv := req.Server
+		if srv == "" {
+			if names := n.ServerNames(); len(names) > 0 {
+				srv = names[0]
+			} else {
+				n.Abort(pt)
+				return Response{OK: true}
+			}
+		}
+		if err := n.Write(srv, pt, "oracle-probe", []byte("x")); err != nil {
 			n.Abort(pt)
 			return Response{Err: fmt.Sprintf("probe write blocked (leaked lock?): %v", err)}
 		}
@@ -277,6 +339,22 @@ func (s *Server) handle(req Request) Response {
 	default:
 		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// routeErrResponse classifies a keyspace-routing failure into its
+// typed code so the driver rejects loudly instead of retrying or
+// timing out; other errors pass through untyped.
+func routeErrResponse(n *camelot.RealNode, err error) Response {
+	resp := Response{Err: err.Error()}
+	switch {
+	case errors.Is(err, camelot.ErrNoShard):
+		resp.Code = CodeNoShard
+	case errors.Is(err, camelot.ErrWrongSite):
+		resp.Code = CodeWrongSite
+	case n.ShardMap() == nil:
+		resp.Code = CodeUnsharded
+	}
+	return resp
 }
 
 // OutcomeFromString parses a Response.Outcome back into the wire type.

@@ -1,0 +1,198 @@
+package ctl
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/shardmap"
+	"camelot/internal/tid"
+)
+
+// startShardedNode brings up one in-process RealNode under the given
+// shard map with a ctl server, and returns a dialed client.
+func startShardedNode(t *testing.T, site camelot.SiteID, m *shardmap.Map) (*camelot.RealNode, *Client) {
+	t.Helper()
+	cfg := camelot.DefaultRealConfig(site)
+	cfg.WALPath = filepath.Join(t.TempDir(), "wal")
+	cfg.ShardMap = m
+	n, err := camelot.StartRealNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() }) //nolint:errcheck // test teardown
+	if err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck // test teardown
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck // test teardown
+	return n, c
+}
+
+// findKey returns a key under prefix whose home site is want (0 for a
+// key on an unplaced shard).
+func findKey(t *testing.T, m *shardmap.Map, prefix string, want camelot.SiteID) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		k := prefix + "." + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if m.SiteOf(k) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key under %q homed at site %d", prefix, want)
+	return ""
+}
+
+// TestCtlRejectsUncoveredKeyLoudly is the regression test for the
+// control plane's handling of keys no shard covers: the request must
+// fail immediately with the typed no-shard error — never hang until
+// some timeout, never a generic string-only failure.
+func TestCtlRejectsUncoveredKeyLoudly(t *testing.T) {
+	// Shards 1 and 3 are unplaced; their keys are covered by no site.
+	m := &shardmap.Map{Version: 1, Shards: 4, Placement: []camelot.SiteID{1, 0, 1, 0}}
+	_, c := startShardedNode(t, 1, m)
+
+	bt, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncovered := findKey(t, m, "hole", 0)
+
+	start := time.Now()
+	err = c.WriteKey(bt, uncovered, []byte("v"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrNoShard) {
+		t.Fatalf("WriteKey(uncovered) = %v, want ErrNoShard", err)
+	}
+	if _, err := c.ReadKey(bt, uncovered); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("ReadKey(uncovered) = %v, want ErrNoShard", err)
+	}
+	if _, _, err := c.PeekKey(uncovered); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("PeekKey(uncovered) = %v, want ErrNoShard", err)
+	}
+	// "Loudly" means synchronously: the rejection is a routing verdict,
+	// not a lock or RPC timeout (those run 2s+ under the default
+	// config).
+	if elapsed > time.Second {
+		t.Fatalf("uncovered-key rejection took %v; must not ride a timeout", elapsed)
+	}
+	if err := c.Abort(bt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlRejectsForeignKeyWithWrongSite(t *testing.T) {
+	m, err := shardmap.New(1, 4, []camelot.SiteID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startShardedNode(t, 1, m)
+	bt, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := findKey(t, m, "far", 2)
+	if err := c.WriteKey(bt, foreign, []byte("v")); !errors.Is(err, ErrWrongSite) {
+		t.Fatalf("WriteKey(foreign) = %v, want ErrWrongSite", err)
+	}
+	if err := c.Abort(bt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlKeyspaceOpsOnUnshardedNode(t *testing.T) {
+	cfg := camelot.DefaultRealConfig(1)
+	cfg.WALPath = filepath.Join(t.TempDir(), "wal")
+	n, err := camelot.StartRealNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() }) //nolint:errcheck // test teardown
+	if err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck // test teardown
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck // test teardown
+
+	bt, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteKey(bt, "k", []byte("v")); !errors.Is(err, ErrUnsharded) {
+		t.Fatalf("WriteKey on unsharded node = %v, want ErrUnsharded", err)
+	}
+	if _, err := c.ShardMap(); !errors.Is(err, ErrUnsharded) {
+		t.Fatalf("ShardMap on unsharded node = %v, want ErrUnsharded", err)
+	}
+	if err := c.Abort(bt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCtlShardedRoundTrip drives the happy path over the control
+// plane: shard map agreement, a routed write, commit, and the routed
+// presence check the oracle uses.
+func TestCtlShardedRoundTrip(t *testing.T) {
+	m, err := shardmap.New(2, 4, []camelot.SiteID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startShardedNode(t, 1, m)
+
+	got, err := c.ShardMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ShardMap over ctl = %q, want %q", got, want)
+	}
+
+	bt, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := findKey(t, m, "rt", 1)
+	if err := c.WriteKey(bt, key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := c.CommitWith(bt, "2pc"); err != nil {
+		t.Fatalf("Commit: %v (outcome %v)", err, out)
+	}
+	val, ok, err := c.PeekKey(key)
+	if err != nil || !ok || !bytes.Equal(val, []byte("v")) {
+		t.Fatalf("PeekKey(%q) = %q, %v, %v", key, val, ok, err)
+	}
+	// The sharded oracle view answers through the same path.
+	v := &View{C: c}
+	if has, err := v.HasKey(key); err != nil || !has {
+		t.Fatalf("View.HasKey(%q) = %v, %v", key, has, err)
+	}
+	if err := v.Probe(); err != nil {
+		t.Fatalf("View.Probe (empty server): %v", err)
+	}
+	// ensure tid referenced (TID halves travel through the client).
+	_ = tid.TID{}
+}

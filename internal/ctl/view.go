@@ -11,12 +11,19 @@ import (
 type View struct {
 	// C is the control connection to the node.
 	C *Client
-	// Server is the node's data-server name.
+	// Server is the node's data-server name. Empty means the node is
+	// sharded: presence queries route by key through the shard map
+	// (the caller must ask the key's home site), and the probe runs
+	// against whichever shard server the site hosts.
 	Server string
 }
 
 // HasKey implements oracle.SiteView.
 func (v *View) HasKey(key string) (bool, error) {
+	if v.Server == "" {
+		_, ok, err := v.C.PeekKey(key)
+		return ok, err
+	}
 	_, ok, err := v.C.Peek(v.Server, key)
 	return ok, err
 }

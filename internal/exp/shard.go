@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"camelot/internal/core"
+	"camelot/internal/rt"
+	"camelot/internal/server"
+	"camelot/internal/shardmap"
+	"camelot/internal/stats"
+	"camelot/internal/tid"
+	"camelot/internal/transport"
+	"camelot/internal/wal"
+	"camelot/internal/wire"
+)
+
+// R4 measures what the sharded data tier costs on a wire: the same
+// loopback-UDP mesh as R2, but each site hosts shard-scoped servers
+// under a round-robin shard map, and the table splits commit latency
+// by how many distinct sites a transaction's write set straddles. The
+// single-shard row is the baseline — one participant, no distributed
+// commitment at all — and each added site buys the cross-shard rows a
+// full prepare round trip.
+
+// realShardSite is one in-process sharded site wired over UDP: the
+// manager, the site's shard-server set, and a memory-backed log.
+type realShardSite struct {
+	id   tid.SiteID
+	peer *transport.UDPPeer
+	tm   *core.Manager
+	set  *server.Set
+	log  *wal.Log
+}
+
+// startRealShardNet boots n sharded sites on loopback under m and
+// fully meshes their address maps.
+func startRealShardNet(r rt.Runtime, n int, m *shardmap.Map) ([]*realShardSite, error) {
+	sites := make([]*realShardSite, 0, n)
+	for i := 1; i <= n; i++ {
+		peer, err := transport.NewUDPPeer(tid.SiteID(i), "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		log := wal.Open(r, wal.NewMemStore(), wal.Config{
+			GroupCommit: true, FlushInterval: 2 * time.Millisecond,
+		})
+		tm := core.New(r, core.Config{
+			Site:             tid.SiteID(i),
+			Threads:          8,
+			RetryInterval:    50 * time.Millisecond,
+			InquireInterval:  50 * time.Millisecond,
+			PromotionTimeout: 200 * time.Millisecond,
+			AckFlushInterval: 10 * time.Millisecond,
+		}, log, peer)
+		set := server.NewSet(r, tid.SiteID(i), m, tm, log, server.Config{LockTimeout: 2 * time.Second})
+		s := &realShardSite{id: tid.SiteID(i), peer: peer, tm: tm, set: set, log: log}
+		peer.SetHandler(func(d transport.Datagram) {
+			if msg, ok := d.Payload.(*wire.Msg); ok {
+				s.tm.Deliver(msg)
+			}
+		})
+		sites = append(sites, s)
+	}
+	for _, a := range sites {
+		for _, b := range sites {
+			if a == b {
+				continue
+			}
+			if err := a.peer.AddPeer(b.id, b.peer.Addr()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sites, nil
+}
+
+func stopRealShardNet(sites []*realShardSite) {
+	for _, s := range sites {
+		s.tm.Close()
+		s.log.Close()
+		s.peer.Close() //nolint:errcheck // benchmark teardown
+	}
+}
+
+// shardKeyHomedAt finds a key under prefix homed at site, by the same
+// deterministic candidate search every sharded driver in this repo
+// uses.
+func shardKeyHomedAt(m *shardmap.Map, prefix string, site tid.SiteID) (string, error) {
+	for c := 0; c < 4096; c++ {
+		k := fmt.Sprintf("%s.%d", prefix, c)
+		if m.SiteOf(k) == site {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("no key under %q homes at site %d", prefix, site)
+}
+
+// realShardTxn runs one keyspace transaction through the mesh: one
+// key homed at each of the first span sites, each write routed to its
+// home site's shard set, committed from the first site under opts.
+func realShardTxn(sites []*realShardSite, m *shardmap.Map, prefix string, span int, opts core.Options) error {
+	coord := sites[0]
+	t, err := coord.tm.Begin()
+	if err != nil {
+		return err
+	}
+	var remote []tid.SiteID
+	for j := 0; j < span; j++ {
+		s := sites[j]
+		key, err := shardKeyHomedAt(m, fmt.Sprintf("%s.x%d", prefix, j), s.id)
+		if err != nil {
+			coord.tm.Abort(t)
+			return err
+		}
+		if err := s.set.Write(t, tid.TID{}, key, []byte("v")); err != nil {
+			coord.tm.Abort(t)
+			return err
+		}
+		if s != coord {
+			remote = append(remote, s.id)
+		}
+	}
+	coord.tm.AddSites(t, remote)
+	_, err = coord.tm.Commit(t, opts)
+	return err
+}
+
+// RealNetSharded measures 2PC commit latency over loopback UDP for
+// the sharded data tier, one row per write-set span: a single-shard
+// transaction (one participant, its home site), then cross-shard
+// transactions straddling 2..nSites sites. Wall-clock numbers: they
+// describe this host.
+func RealNetSharded(nSites, shards, txns int) (*stats.Table, error) {
+	r := rt.Real()
+	ids := make([]tid.SiteID, 0, nSites)
+	for i := 1; i <= nSites; i++ {
+		ids = append(ids, tid.SiteID(i))
+	}
+	m, err := shardmap.New(1, shards, ids)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("R4: Sharded Commit Latency (%d shards on %d sites, loopback UDP, n=%d)", shards, nSites, txns),
+		"write set", "median ms", "p95 ms", "max ms")
+
+	for span := 1; span <= nSites; span++ {
+		sites, err := startRealShardNet(r, nSites, m)
+		if err != nil {
+			stopRealShardNet(sites)
+			return nil, err
+		}
+		label := "single-shard (1 site)"
+		if span > 1 {
+			label = fmt.Sprintf("cross-shard (%d sites)", span)
+		}
+		sample := &stats.Sample{}
+		for i := 0; i < txns; i++ {
+			begin := r.Now()
+			if err := realShardTxn(sites, m, fmt.Sprintf("s%d-t%d", span, i), span, core.Options{}); err != nil {
+				stopRealShardNet(sites)
+				return nil, fmt.Errorf("span %d txn %d: %w", span, i, err)
+			}
+			sample.AddDuration(r.Now() - begin)
+		}
+		stopRealShardNet(sites)
+		t.AddRow(label,
+			fmt.Sprintf("%.3f", sample.Percentile(50)),
+			fmt.Sprintf("%.3f", sample.Percentile(95)),
+			fmt.Sprintf("%.3f", sample.Max()))
+	}
+	return t, nil
+}

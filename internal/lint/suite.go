@@ -31,6 +31,7 @@ var deterministicPkgs = map[string]bool{
 	"camelot/internal/trace":     true,
 	"camelot/internal/chaos":     true,
 	"camelot/internal/oracle":    true,
+	"camelot/internal/shardmap":  true,
 }
 
 // InScope reports whether the analyzer applies to the package. The

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"camelot/camelot"
+	"camelot/internal/shardmap"
 	"camelot/internal/tid"
 	"camelot/internal/wire"
 )
@@ -82,6 +83,27 @@ type Txn struct {
 	// a workload with read-only participants narrows the atomicity
 	// check to the actual write set.
 	Sites []camelot.SiteID
+	// Writes, when non-nil, is the keyspace write set of a sharded
+	// workload: each key at its home site, checked by the cross-shard
+	// atomicity rule instead of the Key/Sites replication rule. A
+	// sharded transaction writes distinct keys on distinct shards, so
+	// atomicity means the whole write set landed or none of it did.
+	Writes []Write
+}
+
+// Write is one key a sharded transaction wrote, at the key's home
+// site per the deployment's shard map.
+type Write struct {
+	// Key is the key written.
+	Key string
+	// Site is the key's home site — the one site whose shard server
+	// holds it.
+	Site camelot.SiteID
+	// Shared marks a key other workload transactions also write (hot
+	// keys under skew). Presence cannot attribute a shared key's value
+	// to this transaction, so the oracle asserts only committed ⇒
+	// present for it, not all-or-nothing.
+	Shared bool
 }
 
 // Violation is one broken invariant.
@@ -125,8 +147,13 @@ type SiteView interface {
 type Config struct {
 	// Sites lists every site id, in order.
 	Sites []camelot.SiteID
-	// ServerOf maps a site to the name of its data server.
+	// ServerOf maps a site to the name of its data server. Ignored
+	// when ShardMap is set.
 	ServerOf func(camelot.SiteID) string
+	// ShardMap, when non-nil, describes a sharded data tier: presence
+	// questions route each key to its home shard's server on the asked
+	// site, and a site hosting no shard is probed begin/abort only.
+	ShardMap *shardmap.Map
 }
 
 // Check runs every invariant against the quiesced in-process cluster
@@ -135,6 +162,14 @@ type Config struct {
 func Check(c *camelot.Cluster, cfg Config, txns []Txn) []Violation {
 	views := make(map[camelot.SiteID]SiteView, len(cfg.Sites))
 	for _, id := range cfg.Sites {
+		if cfg.ShardMap != nil {
+			server := ""
+			if local := cfg.ShardMap.ShardsAt(id); len(local) > 0 {
+				server = cfg.ShardMap.ServerOf(local[0])
+			}
+			views[id] = &shardedView{node: c.Node(id), m: cfg.ShardMap, server: server}
+			continue
+		}
 		views[id] = &clusterView{node: c.Node(id), server: cfg.ServerOf(id)}
 	}
 	return CheckViews(cfg.Sites, views, txns)
@@ -165,6 +200,10 @@ func writeSites(sites []camelot.SiteID, tx Txn) []camelot.SiteID {
 func checkPresence(sites []camelot.SiteID, views map[camelot.SiteID]SiteView, txns []Txn) []Violation {
 	var out []Violation
 	for i, tx := range txns {
+		if tx.Writes != nil {
+			out = append(out, checkWriteSet(i, tx, views)...)
+			continue
+		}
 		present := 0
 		writers := writeSites(sites, tx)
 		for _, id := range writers {
@@ -207,6 +246,73 @@ func checkPresence(sites []camelot.SiteID, views map[camelot.SiteID]SiteView, tx
 					Detail: fmt.Sprintf("client saw ABORT but key %q is at %d/%d sites", tx.Key, present, all),
 				})
 			}
+		}
+	}
+	return out
+}
+
+// checkWriteSet verifies cross-shard atomicity for one sharded
+// transaction: its exclusive writes — distinct keys on the shards it
+// touched, each interrogated at its own home site — are present all
+// together or not at all, and the tally matches the client's view.
+// Shared (hot) keys are held only to committed ⇒ present, since
+// another transaction's commit legitimately leaves them present after
+// this one's abort.
+func checkWriteSet(i int, tx Txn, views map[camelot.SiteID]SiteView) []Violation {
+	var out []Violation
+	exclPresent, exclTotal := 0, 0
+	var missingShared []string
+	for _, w := range tx.Writes {
+		v := views[w.Site]
+		if v == nil {
+			continue
+		}
+		ok, err := v.HasKey(w.Key)
+		if err != nil {
+			out = append(out, Violation{
+				Rule: "view", Txn: i,
+				Detail: fmt.Sprintf("site %d unreachable for key %q: %v", w.Site, w.Key, err),
+			})
+			continue
+		}
+		if w.Shared {
+			if !ok {
+				missingShared = append(missingShared, w.Key)
+			}
+			continue
+		}
+		exclTotal++
+		if ok {
+			exclPresent++
+		}
+	}
+	if exclPresent != 0 && exclPresent != exclTotal {
+		out = append(out, Violation{
+			Rule: "shard-atomicity", Txn: i,
+			Detail: fmt.Sprintf("write set landed on %d/%d shards", exclPresent, exclTotal),
+		})
+		return out // the client-view check would only repeat the news
+	}
+	switch tx.Outcome {
+	case Committed:
+		if exclPresent != exclTotal {
+			out = append(out, Violation{
+				Rule: "client-view", Txn: i,
+				Detail: fmt.Sprintf("client saw COMMIT but write set is on %d/%d shards", exclPresent, exclTotal),
+			})
+		}
+		if len(missingShared) > 0 {
+			out = append(out, Violation{
+				Rule: "client-view", Txn: i,
+				Detail: fmt.Sprintf("client saw COMMIT but shared keys %v are absent", missingShared),
+			})
+		}
+	case Aborted:
+		if exclPresent != 0 {
+			out = append(out, Violation{
+				Rule: "client-view", Txn: i,
+				Detail: fmt.Sprintf("client saw ABORT but write set is on %d/%d shards", exclPresent, exclTotal),
+			})
 		}
 	}
 	return out
@@ -305,6 +411,44 @@ func (v *clusterView) Probe() error {
 	if err := tx.Write(v.server, "oracle-probe", []byte("x")); err != nil {
 		tx.Abort() //nolint:errcheck // probe cleanup; the write is the check
 		return fmt.Errorf("probe write blocked (leaked lock?): %v", err)
+	}
+	tx.Abort() //nolint:errcheck // probe cleanup; the write above is the check
+	return nil
+}
+
+// shardedView answers the oracle's questions for one in-process node
+// of a sharded deployment: each key is looked up on its home shard's
+// server, and the liveness probe writes through the site's first
+// local shard (or degrades to begin/abort when the site hosts none).
+type shardedView struct {
+	node   *camelot.Node
+	m      *shardmap.Map
+	server string // first local shard's server; "" when the site hosts none
+}
+
+func (v *shardedView) HasKey(key string) (bool, error) {
+	srv := v.node.Server(v.m.ServerFor(key))
+	if srv == nil {
+		return false, nil
+	}
+	_, ok := srv.Peek(key)
+	return ok, nil
+}
+
+func (v *shardedView) OutcomeOf(f tid.FamilyID) (wire.Outcome, error) {
+	return v.node.TM().OutcomeOf(f), nil
+}
+
+func (v *shardedView) Probe() error {
+	tx, err := v.node.Begin()
+	if err != nil {
+		return fmt.Errorf("cannot begin after quiesce: %v", err)
+	}
+	if v.server != "" {
+		if err := tx.Write(v.server, "oracle-probe", []byte("x")); err != nil {
+			tx.Abort() //nolint:errcheck // probe cleanup; the write is the check
+			return fmt.Errorf("probe write blocked (leaked lock?): %v", err)
+		}
 	}
 	tx.Abort() //nolint:errcheck // probe cleanup; the write above is the check
 	return nil
