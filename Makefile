@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race torture chaos paxos golden bench cluster
+.PHONY: all build test check fmt vet lint race torture chaos paxos golden bench cluster netem
 
 all: build
 
@@ -84,6 +84,19 @@ bench:
 # and restart, and check the recovery oracle over the control plane.
 cluster:
 	$(GO) run ./cmd/camelot-cluster -nodes 3 -txns 200 -seed 1
+
+# The real-network fault storm (DESIGN.md §12): replay the seeded CI
+# netem/v1 schedule — lossy duplicating reordering links, a 30s
+# one-way partition, a mid-run SIGKILL/restart, a SIGSTOP freeze, and
+# a WAL disk death — against a 3-site loopback cluster through the
+# emulator proxies, then heal and check every oracle rule plus the
+# pinned retransmit+inquiry budget (no storm). The JSON report lands
+# in netem-report.json; CI archives it.
+netem:
+	$(GO) run ./cmd/camelot-cluster -nodes 3 -seed 42 \
+		-netem cmd/camelot-cluster/testdata/netem-ci.json \
+		-retry-cap 800ms -max-retry 12000 -json > netem-report.json
+	@echo "wrote netem-report.json"
 
 check: fmt vet build lint race torture chaos paxos
 	@echo "check: OK"

@@ -85,10 +85,14 @@ type Config struct {
 	LockTimeout time.Duration
 	// RetryInterval, InquireInterval, PromotionTimeout, and
 	// AckFlushInterval tune the transaction manager's timers.
+	// RetryBackoffCap bounds the exponential backoff retransmits and
+	// inquiries grow into under persistent faults; zero means 8×
+	// RetryInterval (see core.Config.RetryBackoffCap).
 	RetryInterval    time.Duration
 	InquireInterval  time.Duration
 	PromotionTimeout time.Duration
 	AckFlushInterval time.Duration
+	RetryBackoffCap  time.Duration
 	// RPCTimeout bounds remote operation calls.
 	RPCTimeout time.Duration
 	// LossRate injects datagram loss for fault experiments.
@@ -241,6 +245,7 @@ func (n *Node) start(keepServers []string) {
 		InquireInterval:  c.cfg.InquireInterval,
 		PromotionTimeout: c.cfg.PromotionTimeout,
 		AckFlushInterval: c.cfg.AckFlushInterval,
+		RetryBackoffCap:  c.cfg.RetryBackoffCap,
 		Trace:            c.tr,
 	}, n.log, c.net)
 	// Outcomes absorbed into the checkpoint image are truncated from

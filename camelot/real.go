@@ -53,6 +53,13 @@ type RealConfig struct {
 	InquireInterval  time.Duration
 	PromotionTimeout time.Duration
 	AckFlushInterval time.Duration
+	// RetryBackoffCap bounds the exponential backoff retransmits and
+	// inquiries grow into during a partition; zero means 8×
+	// RetryInterval (see core.Config.RetryBackoffCap).
+	RetryBackoffCap time.Duration
+	// WrapStore, if non-nil, wraps the node's stable log store —
+	// fault-injection hooks (wal.FailStore) interpose here.
+	WrapStore func(s wal.Store) wal.Store
 	// Logf, if non-nil, receives diagnostics (unmaskable transport
 	// losses such as oversize messages).
 	Logf func(format string, args ...any)
@@ -123,7 +130,11 @@ func StartRealNode(cfg RealConfig) (*RealNode, error) {
 		pages:   diskman.NewPageStore(),
 		servers: make(map[string]*server.Server),
 	}
-	n.log = wal.Open(r, store, wal.Config{
+	var st wal.Store = store
+	if cfg.WrapStore != nil {
+		st = cfg.WrapStore(st)
+	}
+	n.log = wal.Open(r, st, wal.Config{
 		GroupCommit:   cfg.GroupCommit,
 		FlushInterval: cfg.FlushInterval,
 		Site:          cfg.Site,
@@ -135,6 +146,7 @@ func StartRealNode(cfg RealConfig) (*RealNode, error) {
 		InquireInterval:  cfg.InquireInterval,
 		PromotionTimeout: cfg.PromotionTimeout,
 		AckFlushInterval: cfg.AckFlushInterval,
+		RetryBackoffCap:  cfg.RetryBackoffCap,
 	}, n.log, peer)
 	n.tm.SetResolvedBackstop(n.pages.Outcome)
 	if cfg.ShardMap != nil {

@@ -15,19 +15,26 @@
 //	camelot-chaos [-sites N] [-protocol 2pc|nb|paxos] [-seed S]
 //	              [-txns T] [-points MAX] [-json] [-v]
 //	camelot-chaos -repro file.json
+//	camelot-chaos -netem file.json [-sites N] [-seed S] [-txns T]
 //
 // With -repro, the named chaos/v1 schedule is replayed instead of
 // sweeping — the way to re-run a failure the sweep (or the corpus in
-// internal/chaos/testdata) reported. The exit status is nonzero if
-// any run broke an invariant.
+// internal/chaos/testdata) reported. With -netem, the named netem/v1
+// fault schedule (the real-cluster emulator format; see
+// internal/netem) is replayed under the simulation against the
+// workload the other flags describe — deterministically, so two
+// replays of the same pair are byte-identical. The exit status is
+// nonzero if any run broke an invariant.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"camelot/internal/chaos"
+	"camelot/internal/netem"
 )
 
 type options struct {
@@ -39,6 +46,7 @@ type options struct {
 	shards      int
 	points      int
 	repro       string
+	netemFile   string
 	jsonOut     bool
 	verbose     bool
 }
@@ -53,6 +61,7 @@ func main() {
 	flag.IntVar(&opts.shards, "shards", 0, "shard the keyspace into N shards and sweep the cross-shard workload (0: legacy replicated-key workload)")
 	flag.IntVar(&opts.points, "points", 0, "max injection points to explore (0 = all)")
 	flag.StringVar(&opts.repro, "repro", "", "replay a chaos/v1 schedule file instead of sweeping")
+	flag.StringVar(&opts.netemFile, "netem", "", "replay a netem/v1 fault schedule under the simulation instead of sweeping")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit the report as JSON")
 	flag.BoolVar(&opts.verbose, "v", false, "narrate every run to stderr")
 	flag.Parse()
@@ -73,6 +82,9 @@ func main() {
 func run(opts options) (out string, failed bool, err error) {
 	if opts.repro != "" {
 		return replay(opts)
+	}
+	if opts.netemFile != "" {
+		return replayNetem(opts)
 	}
 	var progress func(string)
 	if opts.verbose {
@@ -125,6 +137,54 @@ func replay(opts options) (string, bool, error) {
 	for _, f := range s.Faults {
 		out += fmt.Sprintf("  fault  %s\n", f)
 	}
+	out += fmt.Sprintf("  outcomes %v\n", r.Outcomes)
+	if !r.Failed() {
+		out += "  OK: all invariants hold\n"
+		return out, false, nil
+	}
+	for _, v := range r.Violations {
+		out += fmt.Sprintf("  VIOLATION %s\n", v)
+	}
+	if r.Deadlock != "" {
+		out += fmt.Sprintf("  DEADLOCK %s\n", r.Deadlock)
+	}
+	return out, true, nil
+}
+
+// replayNetem re-runs one netem/v1 fault schedule under the
+// simulation, against the workload the flags describe.
+func replayNetem(opts options) (string, bool, error) {
+	b, err := os.ReadFile(opts.netemFile)
+	if err != nil {
+		return "", false, err
+	}
+	ns, err := netem.DecodeSchedule(b)
+	if err != nil {
+		return "", false, err
+	}
+	w := chaos.Schedule{
+		Version:  chaos.Version,
+		Seed:     opts.seed,
+		Sites:    opts.sites,
+		Protocol: opts.protocol,
+		Txns:     opts.txns,
+		Shards:   opts.shards,
+	}
+	r, err := chaos.RunNetem(ns, w)
+	if err != nil {
+		return "", false, err
+	}
+	if opts.jsonOut {
+		jb, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return "", false, err
+		}
+		return string(jb) + "\n", r.Failed(), nil
+	}
+	out := fmt.Sprintf("netem replay %s: seed %d, %d sites, %d txns\n",
+		opts.netemFile, w.Seed, w.Sites, w.Txns)
+	out += fmt.Sprintf("  emulator  seen %d, dropped %d (cut %d), dupped %d, delayed %d\n",
+		r.Counts.Seen, r.Counts.Dropped, r.Counts.Cut, r.Counts.Dupped, r.Counts.Delayed)
 	out += fmt.Sprintf("  outcomes %v\n", r.Outcomes)
 	if !r.Failed() {
 		out += "  OK: all invariants hold\n"

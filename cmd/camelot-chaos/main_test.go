@@ -45,6 +45,40 @@ func TestSweepJSONDeterministic(t *testing.T) {
 	}
 }
 
+// TestNetemReplayByteIdentical replays the checked-in netem/v1
+// schedule twice through the -netem path and pins that the JSON
+// results are byte-identical — the replayability contract the real
+// cluster driver leans on when a run needs a simulated post-mortem.
+func TestNetemReplayByteIdentical(t *testing.T) {
+	opts := options{
+		netemFile: filepath.Join("testdata", "netem-lossy.json"),
+		sites:     3, seed: 5, txns: 6, jsonOut: true,
+	}
+	a, failed, err := run(opts)
+	if err != nil {
+		t.Fatalf("netem replay: %v", err)
+	}
+	if failed {
+		t.Fatalf("netem replay broke invariants:\n%s", a)
+	}
+	b, _, err := run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same netem schedule, different -json bytes")
+	}
+	out, _, err := run(options{netemFile: opts.netemFile, sites: 3, seed: 5, txns: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"netem replay", "emulator", "all invariants hold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestReplayCorpusFile replays one of the checked-in §7 repro files
 // through the -repro path.
 func TestReplayCorpusFile(t *testing.T) {

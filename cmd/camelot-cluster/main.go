@@ -17,6 +17,19 @@
 //
 //	camelot-cluster -nodes 3 -txns 200 -seed 1
 //
+// With -netem FILE the driver instead replays a netem/v1 schedule
+// (internal/netem) against the cluster: every UDP link is interposed
+// through an emulator proxy applying the schedule's drop, duplication,
+// reordering, delay-jitter, and partition windows, while the schedule's
+// process faults (kill, stop, cont, restart) and WAL disk faults land
+// on the same clock. After the fault phase the driver heals the
+// cluster — continues frozen processes, restarts dead ones, removes
+// the proxies from the path — and checks the same oracle invariants,
+// plus an optional pinned bound on total retransmits+inquiries
+// (-max-retry), the budget the exponential backoff must keep.
+//
+//	camelot-cluster -nodes 3 -netem testdata/netem-smoke.json -max-retry 4000
+//
 // Exit status is nonzero if any invariant was violated.
 package main
 
@@ -56,7 +69,41 @@ func main() {
 	flag.BoolVar(&cfg.Kill, "kill", true, "SIGKILL a subordinate mid-run and restart it later")
 	flag.BoolVar(&cfg.KillMidCommit, "kill-mid-commit", false, "make the killed site the coordinator and SIGKILL it during its own commit")
 	flag.DurationVar(&cfg.Retry, "retry", 50*time.Millisecond, "node retry interval")
+	netemFile := flag.String("netem", "", "netem/v1 schedule file: run the network-fault-emulation mode instead of the legacy kill/restart workload")
+	retryCap := flag.Duration("retry-cap", 0, "netem mode: node retry-backoff cap (0: the node default)")
+	opTimeout := flag.Duration("op-timeout", 3*time.Second, "netem mode: per-control-call deadline")
+	maxRetry := flag.Int("max-retry", 0, "netem mode: pinned bound on total retransmits+inquiries; exceeding it is a violation (0: unbounded)")
 	flag.Parse()
+
+	if *netemFile != "" {
+		nrep, err := runNetem(netemConfig{
+			ScheduleFile: *netemFile,
+			Nodes:        cfg.Nodes,
+			Seed:         cfg.Seed,
+			Protocol:     cfg.Protocol,
+			NodeBin:      cfg.NodeBin,
+			Retry:        cfg.Retry,
+			RetryCap:     *retryCap,
+			OpTimeout:    *opTimeout,
+			MaxRetry:     *maxRetry,
+			JSON:         cfg.JSON,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camelot-cluster:", err)
+			os.Exit(1)
+		}
+		if cfg.JSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(nrep) //nolint:errcheck // stdout
+		} else {
+			nrep.print(os.Stderr)
+		}
+		if len(nrep.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := runCluster(cfg)
 	if err != nil {

@@ -1,10 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
+
+	"camelot/internal/ctl"
 )
 
 // TestClusterSmoke deploys a real 3-process cluster on loopback,
@@ -178,4 +185,127 @@ func TestClusterPaxosSmoke(t *testing.T) {
 	}
 	t.Logf("outcomes: %d committed, %d aborted, %d unknown, %d skipped; transport: %d sent, %d recv, %d dropped",
 		rep.Committed, rep.Aborted, rep.Unknown, rep.Skipped, rep.Sent, rep.Recv, rep.Dropped)
+}
+
+// TestClusterNetemSmoke replays the smoke netem/v1 schedule against a
+// real 3-process cluster: lossy, duplicating, reordering, jittery
+// links through the emulator proxies, a one-way partition window, and
+// a SIGKILL/restart of site 3 mid-storm. After the heal the oracle
+// must find nothing — including after the durability bounce — and the
+// retransmit+inquiry total must stay under the pinned budget the
+// exponential backoff exists to keep.
+func TestClusterNetemSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "camelot-node")
+	build := exec.Command("go", "build", "-o", bin, "camelot/cmd/camelot-node")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building camelot-node: %v\n%s", err, out)
+	}
+
+	rep, err := runNetem(netemConfig{
+		ScheduleFile: filepath.Join("testdata", "netem-smoke.json"),
+		Nodes:        3,
+		Seed:         1,
+		NodeBin:      bin,
+		Retry:        25 * time.Millisecond,
+		RetryCap:     400 * time.Millisecond,
+		OpTimeout:    2 * time.Second,
+		MaxRetry:     20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	if rep.Committed == 0 {
+		t.Error("no transaction committed through the storm")
+	}
+	if rep.Emulator.Seen == 0 {
+		t.Error("no datagram crossed the emulator; the proxies were not in the path")
+	}
+	if rep.Emulator.Dropped == 0 {
+		t.Error("the lossy schedule dropped nothing; the emulator was inert")
+	}
+	t.Logf("outcomes: %d committed, %d aborted, %d unknown, %d skipped; %d unavailable calls",
+		rep.Committed, rep.Aborted, rep.Unknown, rep.Skipped, rep.Unavailable)
+	t.Logf("emulator: %d seen, %d dropped (%d cut), %d dupped, %d delayed; %d retransmits, %d inquiries",
+		rep.Emulator.Seen, rep.Emulator.Dropped, rep.Emulator.Cut,
+		rep.Emulator.Dupped, rep.Emulator.Delayed, rep.Retransmits, rep.Inquiries)
+}
+
+// TestClusterFrozenNodeDeadline is the real-process SIGSTOP
+// regression: a control call against a frozen (not dead) camelot-node
+// must come back as ctl.ErrUnavailable within the deadline rather
+// than hang, and a Reconnect after SIGCONT must restore service.
+func TestClusterFrozenNodeDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "camelot-node")
+	build := exec.Command("go", "build", "-o", bin, "camelot/cmd/camelot-node")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building camelot-node: %v\n%s", err, out)
+	}
+
+	p, err := spawn(bin, 1, filepath.Join(t.TempDir(), "site1.wal"),
+		"127.0.0.1:0", "127.0.0.1:0", 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.stop()
+	p.client.SetTimeout(500 * time.Millisecond)
+
+	if _, err := p.client.Ping(); err != nil {
+		t.Fatalf("ping before freeze: %v", err)
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	// Signal only posts the stop; an already-running server thread can
+	// serve one more round trip before the group stop lands. Wait for
+	// the process to actually reach the stopped state.
+	waitStopped(t, p.cmd.Process.Pid)
+	start := time.Now()
+	_, err = p.client.Ping()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ctl.ErrUnavailable) {
+		t.Fatalf("ping against frozen node = %v, want ErrUnavailable", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("deadline took %v; the freeze was not bounded", elapsed)
+	}
+	if !p.client.Broken() {
+		t.Fatal("connection not poisoned after the deadline")
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.client.Reconnect(); err != nil {
+		t.Fatalf("reconnect after thaw: %v", err)
+	}
+	if id, err := p.client.Ping(); err != nil || id != 1 {
+		t.Fatalf("ping after thaw = %v, %v; want site 1", id, err)
+	}
+}
+
+// waitStopped polls /proc until pid's state is T (stopped) — the
+// point after which the frozen node provably cannot answer.
+func waitStopped(t *testing.T, pid int) {
+	t.Helper()
+	stat := fmt.Sprintf("/proc/%d/stat", pid)
+	for i := 0; i < 200; i++ {
+		b, err := os.ReadFile(stat)
+		if err != nil {
+			t.Fatalf("reading %s: %v", stat, err)
+		}
+		// State is the field after the parenthesized comm.
+		if j := bytes.LastIndexByte(b, ')'); j >= 0 && j+2 < len(b) && b[j+2] == 'T' {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("process never reached the stopped state")
 }

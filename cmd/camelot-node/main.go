@@ -30,6 +30,7 @@ import (
 	"camelot/camelot"
 	"camelot/internal/ctl"
 	"camelot/internal/shardmap"
+	"camelot/internal/wal"
 )
 
 // parseSites parses a comma-separated site-id list ("1,2,3").
@@ -57,6 +58,8 @@ func main() {
 		walPath  = flag.String("wal", "", "write-ahead log file (required)")
 		server   = flag.String("server", "store", "data server name")
 		retry    = flag.Duration("retry", 50*time.Millisecond, "coordinator retry interval (masks datagram loss)")
+		retryCap = flag.Duration("retry-cap", 0, "cap for the exponential retry backoff (0: 8x the retry interval)")
+		walFail  = flag.Int("wal-fail-append", -1, "fail the Nth WAL block append and every write after it (fault injection; -1: never)")
 		protocol = flag.String("protocol", "", "default commit protocol: 2pc, nb, or paxos (empty: per-request flags decide)")
 		shards   = flag.Int("shards", 0, "shard count for the sharded data tier (0: legacy single -server)")
 		sites    = flag.String("sites", "", "comma-separated site ids of the deployment, in placement order (required with -shards)")
@@ -82,7 +85,15 @@ func main() {
 	cfg.Servers = []string{*server}
 	cfg.RetryInterval = *retry
 	cfg.InquireInterval = *retry
+	cfg.RetryBackoffCap = *retryCap
 	cfg.Logf = log.Printf
+	if *walFail >= 0 {
+		// A netem-driven disk fault: the Nth block append fails and the
+		// log fail-stops, turning this site into the crashed site the
+		// others must resolve around.
+		n := *walFail
+		cfg.WrapStore = func(s wal.Store) wal.Store { return wal.NewFailStore(s, n) }
+	}
 	if *shards > 0 {
 		// Every member builds the same map from the same flags
 		// (shardmap.New is deterministic); the driver verifies

@@ -9,7 +9,12 @@
 //
 // Usage:
 //
-//	camelot-trace [-sites N] [-protocol 2pc|nb|paxos] [-seed S] [-json]
+//	camelot-trace [-sites N] [-protocol 2pc|nb|paxos] [-seed S] [-loss P] [-json]
+//
+// With -loss P each datagram is dropped with probability P (seeded,
+// deterministic): the timeline then shows EvRetry/EvBackoff events and
+// the per-site retransmit and inquiry counters go nonzero — the
+// recovery machinery a fault-free trace never exercises.
 package main
 
 import (
@@ -30,6 +35,7 @@ type options struct {
 	nonblocking bool
 	protocol    string
 	seed        int64
+	loss        float64
 	jsonOut     bool
 }
 
@@ -55,6 +61,7 @@ func main() {
 	flag.BoolVar(&opts.nonblocking, "nonblocking", false, "use the non-blocking three-phase protocol")
 	flag.StringVar(&opts.protocol, "protocol", "", "commit protocol: 2pc, nb, or paxos (overrides -nonblocking)")
 	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed (same seed, same timeline)")
+	flag.Float64Var(&opts.loss, "loss", 0, "datagram loss probability: losses force retransmits and inquiries into the timeline and counters")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit a machine-readable JSON report")
 	flag.Parse()
 
@@ -72,6 +79,9 @@ func run(opts options) (string, error) {
 	if opts.sites < 1 {
 		return "", fmt.Errorf("-sites must be at least 1, got %d", opts.sites)
 	}
+	if opts.loss < 0 || opts.loss >= 1 {
+		return "", fmt.Errorf("-loss must be in [0, 1), got %g", opts.loss)
+	}
 	copts, err := opts.commitOptions()
 	if err != nil {
 		return "", err
@@ -80,6 +90,7 @@ func run(opts options) (string, error) {
 	k := sim.New(opts.seed)
 	cfg := camelot.DefaultConfig()
 	cfg.Trace = true
+	cfg.LossRate = opts.loss
 	c := camelot.NewCluster(k, cfg)
 	for id := camelot.SiteID(1); id <= camelot.SiteID(opts.sites); id++ {
 		c.AddNode(id).AddServer(fmt.Sprintf("srv%d", id))

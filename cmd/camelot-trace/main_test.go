@@ -22,6 +22,7 @@ func TestJSONGolden(t *testing.T) {
 		{"trace-2pc.json", options{sites: 3, seed: 1, jsonOut: true}},
 		{"trace-nb.json", options{sites: 3, nonblocking: true, seed: 1, jsonOut: true}},
 		{"trace-paxos.json", options{sites: 3, protocol: "paxos", seed: 1, jsonOut: true}},
+		{"trace-2pc-lossy.json", options{sites: 3, seed: 1, loss: 0.25, jsonOut: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			got, err := run(tc.opts)
@@ -97,5 +98,37 @@ func TestPaxosReplayDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Error("same seed produced different paxos traces")
+	}
+}
+
+// TestLossyTraceShowsRecoveryMachinery checks the -loss mode actually
+// exercises what a fault-free trace cannot: under seeded loss the
+// report must carry retransmits (and the retry/backoff events that
+// produced them), while the zero-loss goldens above stay byte-identical
+// because the counters are omitempty and round 0 fires at exactly the
+// base interval.
+func TestLossyTraceShowsRecoveryMachinery(t *testing.T) {
+	out, err := run(options{sites: 3, seed: 1, loss: 0.25, jsonOut: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{`"retransmits"`, `Retry`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lossy report missing %s", want)
+		}
+	}
+	clean, err := run(options{sites: 3, seed: 1, jsonOut: true})
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	if strings.Contains(clean, `"retransmits"`) {
+		t.Error("fault-free report contains retransmits; zero retries regressed")
+	}
+}
+
+// TestRunRejectsBadLoss covers -loss validation.
+func TestRunRejectsBadLoss(t *testing.T) {
+	if _, err := run(options{sites: 3, seed: 1, loss: 1.5}); err == nil {
+		t.Error("run with -loss 1.5 succeeded, want error")
 	}
 }

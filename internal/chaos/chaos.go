@@ -12,6 +12,7 @@ import (
 	"camelot/internal/shardmap"
 	"camelot/internal/sim"
 	"camelot/internal/tid"
+	"camelot/internal/transport"
 	"camelot/internal/wal"
 	"camelot/internal/wire"
 )
@@ -25,6 +26,12 @@ const recoverDelay = 250 * time.Millisecond
 // defaultPartitionWindow heals a ModePartition cut that did not
 // specify WindowMs.
 const defaultPartitionWindow = 300 * time.Millisecond
+
+// reorderDelay is how far a ModeReorder fault pushes its datagram
+// behind the sender's subsequent traffic — comfortably past several
+// send cycles, well short of the retry timers, so the late copy races
+// real protocol progress rather than just looking like a drop.
+const reorderDelay = 30 * time.Millisecond
 
 // Result is one run's verdict.
 type Result struct {
@@ -88,6 +95,7 @@ type engine struct {
 
 	mu        sync.Mutex
 	msgCount  int
+	curMsg    int      // index inject assigned to the datagram in flight
 	msgLabels []string // pilot labels, one per counted datagram
 	msgFaults map[int]Fault
 	recovery  []string // recovery failures, reported as violations
@@ -129,7 +137,10 @@ func workloadConfig() camelot.Config {
 	return cfg
 }
 
-func (e *engine) run() (*Result, error) {
+// build boots the kernel and the cluster under test from the
+// schedule's workload parameters — shared between the chaos fault
+// runner and the netem schedule replay.
+func (e *engine) build() error {
 	s := e.sched
 	e.k = sim.New(s.Seed)
 	cfg := workloadConfig()
@@ -145,7 +156,7 @@ func (e *engine) run() (*Result, error) {
 		}
 		m, err := shardmap.New(1, s.Shards, e.sites)
 		if err != nil {
-			return nil, fmt.Errorf("chaos: shard map: %w", err)
+			return fmt.Errorf("chaos: shard map: %w", err)
 		}
 		e.smap = m
 		e.c.SetShardMap(m)
@@ -158,6 +169,14 @@ func (e *engine) run() (*Result, error) {
 			e.sites = append(e.sites, id)
 			e.c.AddNode(id).AddServer(srvName(id))
 		}
+	}
+	return nil
+}
+
+func (e *engine) run() (*Result, error) {
+	s := e.sched
+	if err := e.build(); err != nil {
+		return nil, err
 	}
 
 	// Arm the stable-store faults.
@@ -175,6 +194,7 @@ func (e *engine) run() (*Result, error) {
 		}
 	}
 	e.c.Network().SetInjector(e.inject)
+	e.c.Network().SetShaper(e.shape)
 
 	txns := make([]oracle.Txn, s.Txns)
 	var violations []string
@@ -206,6 +226,7 @@ func (e *engine) inject(from, to tid.SiteID, payload any) bool {
 	e.mu.Lock()
 	k := e.msgCount
 	e.msgCount++
+	e.curMsg = k
 	if len(e.sched.Faults) == 0 {
 		e.msgLabels = append(e.msgLabels, fmt.Sprintf("%s %d→%d", payloadLabel(payload), from, to))
 	}
@@ -231,6 +252,27 @@ func (e *engine) inject(from, to tid.SiteID, payload any) bool {
 		return false // the cut catches it at delivery time
 	}
 	return false
+}
+
+// shape is the transport's traffic-shaping hook, carrying the msg
+// fault modes the boolean injector cannot express (duplication,
+// reorder-by-delay). It keys off the index inject just assigned: the
+// network consults injector then shaper for the same datagram under
+// its lock, so curMsg always names the datagram being shaped.
+func (e *engine) shape(from, to tid.SiteID, payload any) transport.Shape {
+	e.mu.Lock()
+	f, hit := e.msgFaults[e.curMsg]
+	e.mu.Unlock()
+	if !hit {
+		return transport.Shape{}
+	}
+	switch f.Mode {
+	case ModeDup:
+		return transport.Shape{Dup: 1}
+	case ModeReorder:
+		return transport.Shape{Delay: reorderDelay}
+	}
+	return transport.Shape{}
 }
 
 func payloadLabel(p any) string {
@@ -406,6 +448,7 @@ func (e *engine) shardWorkload(txns []oracle.Txn) {
 func (e *engine) verify(txns []oracle.Txn) []string {
 	// Heal: no more injections, no loss, no cuts, everyone up.
 	e.c.Network().SetInjector(nil)
+	e.c.Network().SetShaper(nil)
 	for _, fs := range e.stores {
 		fs.Arm(nil)
 	}

@@ -73,6 +73,13 @@ const (
 	// ModePartition cuts the datagram's link for WindowMs
 	// milliseconds, then heals it.
 	ModePartition = "partition"
+	// ModeDup delivers the datagram twice — the at-least-once hazard
+	// every UDP protocol step must be idempotent against.
+	ModeDup = "dup"
+	// ModeReorder delays the datagram past the sender's subsequent
+	// sends, so it arrives out of order (a stale prepare after its
+	// retransmit, an outcome before the vote that caused it, ...).
+	ModeReorder = "reorder"
 )
 
 // Fault is one injected fault, addressed by class-specific counters
@@ -181,7 +188,8 @@ func validFault(f Fault) error {
 	case ClassForce:
 		ok = f.Mode == ModeCrash || f.Mode == ModeTorn || f.Mode == ModeBitflip
 	case ClassMsg:
-		ok = f.Mode == ModeDrop || f.Mode == ModeCrash || f.Mode == ModePartition
+		ok = f.Mode == ModeDrop || f.Mode == ModeCrash || f.Mode == ModePartition ||
+			f.Mode == ModeDup || f.Mode == ModeReorder
 	case ClassCkpt:
 		ok = f.Mode == ModeCrash
 	}
@@ -208,7 +216,7 @@ func (p Point) Modes() []string {
 	case ClassForce:
 		return []string{ModeCrash, ModeTorn, ModeBitflip}
 	case ClassMsg:
-		return []string{ModeDrop, ModeCrash, ModePartition}
+		return []string{ModeDrop, ModeCrash, ModePartition, ModeDup, ModeReorder}
 	default:
 		return []string{ModeCrash}
 	}

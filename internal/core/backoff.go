@@ -1,0 +1,73 @@
+package core
+
+// Capped exponential backoff for the timer-driven retry paths. The
+// fixed-interval retransmit loop the real runtime shipped with storms
+// under a partition: every prepared subordinate inquires, every
+// coordinator re-fans out, all on the same period, forever. Backoff
+// bounds that traffic — round n waits up to min(base<<n, cap) — and
+// seeded per-family jitter de-synchronizes sites that woke together
+// when the partition heals.
+//
+// Two properties matter for determinism:
+//
+//   - Round 0 waits exactly the base interval, so a run in which no
+//     retry timer ever fires (every fault-free simulation golden) is
+//     byte-identical to the fixed-interval implementation.
+//   - Jitter is drawn from a per-family PRNG seeded from (site,
+//     family id), never from the runtime's shared Rand: consuming the
+//     kernel stream would perturb unrelated simulated choices, and
+//     wall-clock seeding would break replay (camelot-lint walltime).
+
+import (
+	"math/rand"
+	"time"
+
+	"camelot/internal/tid"
+)
+
+// reschedule re-arms f's protocol timer for a retry round: round n of
+// the current phase waits backoff(base, cap, n) rather than base. The
+// caller holds f's lock. Initial arms use schedule directly, so the
+// first wait of any phase is always exactly base.
+func (m *Manager) reschedule(f *family, base time.Duration) {
+	n := f.backoffN
+	f.backoffN++
+	d := backoff(base, m.cfg.RetryBackoffCap, n, f.jitter(m))
+	if d > base {
+		m.tr.Backoff(m.cfg.Site, tid.Top(f.id), d)
+	}
+	m.schedule(f, d)
+}
+
+// jitter returns the family's seeded jitter source, created on first
+// use. The seed mixes the executing site into the family id so two
+// sites retrying the same family never share a delay sequence.
+func (f *family) jitter(m *Manager) *rand.Rand {
+	if f.boRng == nil {
+		seed := int64(uint64(f.id) ^ uint64(m.cfg.Site)<<17)
+		f.boRng = rand.New(rand.NewSource(seed))
+	}
+	return f.boRng
+}
+
+// backoff returns the wait before retry round n at the given base:
+// round 0 waits base exactly; round n>0 waits a uniform draw from
+// [base, min(base<<n, limit)]. A limit at or below base disables
+// growth, so intervals that already exceed the cap (the 4× orphan
+// check under default 2PC timers) keep their fixed period.
+func backoff(base, limit time.Duration, n int, rng *rand.Rand) time.Duration {
+	if n <= 0 || limit <= base {
+		return base
+	}
+	if n > 16 {
+		n = 16 // base<<16 saturates any sane cap without overflowing
+	}
+	hi := base << uint(n)
+	if hi <= 0 || hi > limit {
+		hi = limit
+	}
+	if hi <= base {
+		return base
+	}
+	return base + time.Duration(rng.Int63n(int64(hi-base)+1))
+}

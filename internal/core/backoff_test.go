@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Round 0 must wait exactly base: fault-free runs — and with them the
+// simulation goldens — never observe backoff.
+func TestBackoffRoundZeroIsBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, base := range []time.Duration{time.Millisecond, 50 * time.Millisecond, time.Second} {
+		if got := backoff(base, 8*base, 0, rng); got != base {
+			t.Fatalf("backoff(%v, n=0) = %v, want %v", base, got, base)
+		}
+	}
+}
+
+// Every round's delay stays within [base, cap], for every exponent —
+// including ones large enough to overflow a naive base<<n.
+func TestBackoffStaysWithinBaseAndCap(t *testing.T) {
+	const base = 50 * time.Millisecond
+	limit := 8 * base
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 100; n++ {
+		for i := 0; i < 50; i++ {
+			d := backoff(base, limit, n, rng)
+			if d < base || d > limit {
+				t.Fatalf("backoff round %d = %v, outside [%v, %v]", n, d, base, limit)
+			}
+		}
+	}
+}
+
+// A cap at or below base disables growth entirely — the orphan check
+// (base 4×InquireInterval, typically above the cap) keeps its fixed
+// period.
+func TestBackoffCapBelowBaseIsFixedInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := 4 * time.Second
+	for n := 0; n < 10; n++ {
+		if got := backoff(base, 400*time.Millisecond, n, rng); got != base {
+			t.Fatalf("backoff round %d = %v, want fixed %v", n, got, base)
+		}
+	}
+}
+
+// The delay sequence is a pure function of the seed: two generators
+// with the same seed produce identical schedules (replay determinism),
+// different seeds diverge (sites de-synchronize).
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	const base = 50 * time.Millisecond
+	limit := 8 * base
+	seq := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]time.Duration, 0, 20)
+		for n := 0; n < 20; n++ {
+			out = append(out, backoff(base, limit, n, rng))
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at round %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// Growth actually happens: by a few rounds in, delays can exceed the
+// base (the storm-damping the cap exists to bound).
+func TestBackoffGrows(t *testing.T) {
+	const base = 50 * time.Millisecond
+	limit := 8 * base
+	rng := rand.New(rand.NewSource(11))
+	grew := false
+	for n := 1; n < 10; n++ {
+		if backoff(base, limit, n, rng) > base {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		t.Fatalf("backoff never exceeded base over 10 jittered rounds")
+	}
+}

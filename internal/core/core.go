@@ -26,6 +26,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"camelot/internal/det"
@@ -118,6 +119,13 @@ type Config struct {
 	// that never answers is presumed failed, and abort is always safe
 	// before the commit point).
 	VoteRetries int
+	// RetryBackoffCap bounds the exponential backoff applied to
+	// timer-driven retransmits and inquiries: retry round n waits a
+	// jittered interval in [base, min(base<<n, RetryBackoffCap)],
+	// where base is the timer's ordinary period (RetryInterval or
+	// InquireInterval). The first round always waits exactly base, so
+	// fault-free runs are unaffected. Zero means 8×RetryInterval.
+	RetryBackoffCap time.Duration
 	// Trace, if non-nil, receives protocol events (forces, phases,
 	// lock drops) and per-transaction counters.
 	Trace *trace.Collector
@@ -142,15 +150,22 @@ func (c *Config) fillDefaults() {
 	if c.VoteRetries <= 0 {
 		c.VoteRetries = 20
 	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 8 * c.RetryInterval
+	}
 }
 
 // Stats counts protocol activity.
 type Stats struct {
-	Begun           int
-	Committed       int
-	Aborted         int
-	Promotions      int // non-blocking subordinate → coordinator
-	Inquiries       int
+	Begun      int
+	Committed  int
+	Aborted    int
+	Promotions int // non-blocking subordinate → coordinator
+	Inquiries  int
+	// Retransmits counts datagrams re-sent by timer-driven retry
+	// rounds — the traffic backoff exists to bound. Zero in any run
+	// where every answer arrives before its timer fires.
+	Retransmits     int
 	AcksPiggybacked int
 	AcksStandalone  int
 	// ResolvedRetained is the number of finished families whose
@@ -272,6 +287,12 @@ type family struct {
 	timer    rt.Timer
 	nbState  wire.NBState
 	attempts int // retry count in the current waiting phase
+	// backoffN counts timer-driven retry rounds for backoff purposes;
+	// reset with attempts when a phase makes real progress. boRng is
+	// the per-family jitter source (see backoff.go), nil until the
+	// first backed-off round.
+	backoffN int
+	boRng    *rand.Rand
 
 	// Promotion (a subordinate acting as coordinator, §3.3 change 2).
 	promoted     bool

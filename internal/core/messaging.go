@@ -108,6 +108,27 @@ func (m *Manager) schedule(f *family, d time.Duration) {
 	})
 }
 
+// retryFanout re-sends msg to tos as one timer-driven retransmit
+// round, counting the datagrams in Stats.Retransmits and the trace
+// (f's lock held). Fault-free runs never reach it: every answer
+// arrives before the timer fires.
+func (m *Manager) retryFanout(f *family, tos []tid.SiteID, msg *wire.Msg, what string) {
+	if len(tos) == 0 {
+		return
+	}
+	m.bumpStats(func(s *Stats) { s.Retransmits += len(tos) })
+	m.tr.Retry(m.cfg.Site, tid.Top(f.id), what, len(tos))
+	m.fanout(tos, msg, f.opts.Multicast)
+}
+
+// inquire sends one outcome inquiry for f to the family's origin site
+// (f's lock held).
+func (m *Manager) inquire(f *family) {
+	m.bumpStats(func(s *Stats) { s.Inquiries++ })
+	m.tr.Inquiry(m.cfg.Site, tid.Top(f.id))
+	m.send(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
+}
+
 // tick is the timer-driven retry/timeout path.
 func (m *Manager) tick(id tid.FamilyID) {
 	f := m.lockFamily(id)
@@ -146,8 +167,8 @@ func (m *Manager) tick(id tid.FamilyID) {
 				missing = append(missing, s)
 			}
 		}
-		m.fanout(missing, m.prepareMsg(f), f.opts.Multicast)
-		m.schedule(f, m.cfg.RetryInterval)
+		m.retryFanout(f, missing, m.prepareMsg(f), "prepare")
+		m.reschedule(f, m.cfg.RetryInterval)
 	case f.coord && f.ph == phReplicating:
 		// Past the replication phase's start a unilateral abort is no
 		// longer safe — a commit quorum may already exist. If the
@@ -164,26 +185,24 @@ func (m *Manager) tick(id tid.FamilyID) {
 				missing = append(missing, s)
 			}
 		}
-		m.fanout(missing, m.replicateMsg(f), f.opts.Multicast)
-		m.schedule(f, m.cfg.RetryInterval)
+		m.retryFanout(f, missing, m.replicateMsg(f), "replicate")
+		m.reschedule(f, m.cfg.RetryInterval)
 	case (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0:
 		// Re-send the outcome to sites that have not acknowledged.
-		m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
-		m.schedule(f, m.cfg.RetryInterval)
+		m.retryFanout(f, sortedSites(f.acksPending), m.outcomeMsg(f), "outcome")
+		m.reschedule(f, m.cfg.RetryInterval)
 	case f.ph == phPrepared && !f.opts.NonBlocking && !f.coord:
 		// Blocked two-phase subordinate: ask the coordinator.
-		m.bumpStats(func(s *Stats) { s.Inquiries++ })
-		m.send(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
-		m.schedule(f, m.cfg.InquireInterval)
+		m.inquire(f)
+		m.reschedule(f, m.cfg.InquireInterval)
 	case f.ph == phActive && !f.coord:
 		// Orphan check: a remote family still active here long after
 		// joining. If the coordinator is alive and still running the
 		// transaction it ignores the inquiry; if it aborted or never
 		// heard of us, presumed abort answers and releases our locks
 		// and updates.
-		m.bumpStats(func(s *Stats) { s.Inquiries++ })
-		m.send(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
-		m.schedule(f, 4*m.cfg.InquireInterval)
+		m.inquire(f)
+		m.reschedule(f, 4*m.cfg.InquireInterval)
 	case (f.ph == phPrepared || f.ph == phReplicated) && f.opts.NonBlocking && !f.coord:
 		// Non-blocking subordinate stalled: become a coordinator
 		// (§3.3 change 2).

@@ -163,7 +163,7 @@ func (m *Manager) nbBeginReplication(f *family) {
 	f.nbState = wire.NBReplicated
 	f.replAcks[m.cfg.Site] = true
 	f.ph = phReplicating
-	f.attempts = 0
+	f.attempts, f.backoffN = 0, 0
 	m.tr.PhaseBegin(m.cfg.Site, tid.Top(f.id), "replicate")
 	m.fanout(sortedSites(f.replTargets), m.replicateMsg(f), f.opts.Multicast)
 	m.schedule(f, m.cfg.RetryInterval)

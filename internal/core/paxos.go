@@ -632,7 +632,7 @@ func (m *Manager) paxosPromote(f *family) {
 	f.paxStage = 1
 	f.pax1b = make(map[tid.SiteID][]wire.PaxosAccepted)
 	f.pax2b = make(map[tid.SiteID]bool)
-	f.attempts = 0
+	f.attempts, f.backoffN = 0, 0
 	if f.paxosIsAcceptor(m.cfg.Site) {
 		if !m.paxosPromiseLocal(f) {
 			return
@@ -795,7 +795,7 @@ func (m *Manager) paxosCheck1bQuorum(f *family) {
 	}
 	f.paxStage = 2
 	f.pax2b = make(map[tid.SiteID]bool)
-	f.attempts = 0
+	f.attempts, f.backoffN = 0, 0
 	if f.paxosIsAcceptor(m.cfg.Site) {
 		if !m.paxosAccept(f, f.paxBallot, chosen) {
 			return
@@ -840,11 +840,11 @@ func (m *Manager) paxosTick(f *family) {
 					}
 				}
 			}
-			m.fanout(missing, &wire.Msg{
+			m.retryFanout(f, missing, &wire.Msg{
 				Kind: wire.KPaxos1a, TID: tid.Top(f.id), Ballot: f.paxBallot,
 				Sites: f.nbSites, Acceptors: f.paxAcceptors,
-			}, f.opts.Multicast)
-			m.schedule(f, m.cfg.RetryInterval)
+			}, "paxos1a")
+			m.reschedule(f, m.cfg.RetryInterval)
 		case 2:
 			chosen := make([]wire.SiteVote, 0, len(f.nbSites))
 			for _, s := range f.nbSites {
@@ -856,15 +856,15 @@ func (m *Manager) paxosTick(f *family) {
 					missing = append(missing, a)
 				}
 			}
-			m.fanout(missing, &wire.Msg{
+			m.retryFanout(f, missing, &wire.Msg{
 				Kind: wire.KPaxos2a, TID: tid.Top(f.id), Ballot: f.paxBallot,
 				Votes: chosen, Sites: f.nbSites, Acceptors: f.paxAcceptors,
-			}, f.opts.Multicast)
-			m.schedule(f, m.cfg.RetryInterval)
+			}, "paxos2a")
+			m.reschedule(f, m.cfg.RetryInterval)
 		default:
 			if (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0 {
-				m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
-				m.schedule(f, m.cfg.RetryInterval)
+				m.retryFanout(f, sortedSites(f.acksPending), m.outcomeMsg(f), "outcome")
+				m.reschedule(f, m.cfg.RetryInterval)
 			}
 		}
 	case f.coord && f.ph == phPreparing:
@@ -887,7 +887,7 @@ func (m *Manager) paxosTick(f *family) {
 				missingRMs = append(missingRMs, s)
 			}
 		}
-		m.fanout(missingRMs, m.prepareMsg(f), f.opts.Multicast)
+		m.retryFanout(f, missingRMs, m.prepareMsg(f), "prepare")
 		var missingAcc []tid.SiteID
 		for _, a := range f.paxAcceptors {
 			if a != m.cfg.Site && !f.pax2b[a] {
@@ -895,26 +895,28 @@ func (m *Manager) paxosTick(f *family) {
 			}
 		}
 		if len(missingAcc) > 0 {
-			m.fanout(missingAcc, &wire.Msg{
+			m.retryFanout(f, missingAcc, &wire.Msg{
 				Kind: wire.KPaxos2a, TID: tid.Top(f.id),
 				Votes:     []wire.SiteVote{{Site: m.cfg.Site, Vote: f.localVote}},
 				Sites:     f.nbSites,
 				Acceptors: f.paxAcceptors,
-			}, f.opts.Multicast)
+			}, "paxos2a")
 		}
-		m.schedule(f, m.cfg.RetryInterval)
+		m.reschedule(f, m.cfg.RetryInterval)
 	case (f.ph == phCommitted || f.ph == phAborted) && len(f.acksPending) > 0:
-		m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
-		m.schedule(f, m.cfg.RetryInterval)
+		m.retryFanout(f, sortedSites(f.acksPending), m.outcomeMsg(f), "outcome")
+		m.reschedule(f, m.cfg.RetryInterval)
 	case f.ph == phPrepared && !f.coord:
 		// Prepared participant hearing nothing: re-cast the vote twice
 		// (covers lost 2a/2b datagrams), then take over.
 		f.attempts++
 		if f.attempts <= 2 {
+			m.bumpStats(func(s *Stats) { s.Retransmits++ })
+			m.tr.Retry(m.cfg.Site, tid.Top(f.id), "recast", 1)
 			if !m.paxosCastVote(f, f.localVote) {
 				return
 			}
-			m.schedule(f, m.cfg.InquireInterval)
+			m.reschedule(f, m.cfg.InquireInterval)
 			return
 		}
 		m.paxosPromote(f)
@@ -922,8 +924,7 @@ func (m *Manager) paxosTick(f *family) {
 		// Orphan or acceptor-only descriptor: ask the origin; resolved
 		// memory answers for finished transactions and presumed abort
 		// covers never-decided ones.
-		m.bumpStats(func(s *Stats) { s.Inquiries++ })
-		m.send(f.id.Origin(), &wire.Msg{Kind: wire.KInquire, TID: tid.Top(f.id)})
-		m.schedule(f, 4*m.cfg.InquireInterval)
+		m.inquire(f)
+		m.reschedule(f, 4*m.cfg.InquireInterval)
 	}
 }

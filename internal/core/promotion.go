@@ -37,8 +37,8 @@ func (m *Manager) promotionSweep(f *family) {
 	if f.ph == phCommitted || f.ph == phAborted {
 		// Outcome already driven; keep pushing it to laggards.
 		if len(f.acksPending) > 0 {
-			m.fanout(sortedSites(f.acksPending), m.outcomeMsg(f), f.opts.Multicast)
-			m.schedule(f, m.cfg.RetryInterval)
+			m.retryFanout(f, sortedSites(f.acksPending), m.outcomeMsg(f), "outcome")
+			m.reschedule(f, m.cfg.RetryInterval)
 		}
 		return
 	}
@@ -48,8 +48,8 @@ func (m *Manager) promotionSweep(f *family) {
 			others = append(others, s)
 		}
 	}
-	m.fanout(others, &wire.Msg{Kind: wire.KNBStatusReq, TID: tid.Top(f.id)}, f.opts.Multicast)
-	m.schedule(f, m.cfg.RetryInterval)
+	m.retryFanout(f, others, &wire.Msg{Kind: wire.KNBStatusReq, TID: tid.Top(f.id)}, "status")
+	m.reschedule(f, m.cfg.RetryInterval)
 }
 
 // onNBStatusReq reports this site's position in the protocol to a

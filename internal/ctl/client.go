@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"camelot/camelot"
 	"camelot/internal/tid"
@@ -18,6 +19,14 @@ import (
 // Commit that ended in a clean abort reports it as this error, so
 // drivers classify outcomes the same way an in-process client would.
 var ErrAborted = camelot.ErrAborted
+
+// ErrUnavailable reports that the node did not answer within the
+// call's deadline (or the connection died). It is the typed,
+// bounded-time verdict a driver gets from a frozen or dead node —
+// instead of hanging on a stream that will never produce bytes.
+// errors.Is(err, ErrUnavailable) classifies it; Reconnect recovers
+// the client once the node is back.
+var ErrUnavailable = errors.New("ctl: node unavailable")
 
 // Typed keyspace-routing errors, mirrored across the control plane
 // from the data tier (Response.Code carries the class; the client
@@ -50,46 +59,133 @@ func codeError(resp Response) error {
 // Client is one driver-side control connection to a camelot-node.
 // Requests on one Client are serialized; use one Client per
 // concurrent stream of work.
+//
+// A Client may carry a default per-call deadline (SetTimeout, or
+// DialTimeout); individual calls override it with DoTimeout. When a
+// call times out the connection is poisoned — a late response would
+// desynchronize the request/response framing — so every subsequent
+// call fails fast with ErrUnavailable until Reconnect succeeds.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	timeout time.Duration
+	broken  error // sticky transport failure; cleared by Reconnect
 }
 
-// Dial connects to a node's control address.
+// Dial connects to a node's control address with no default deadline:
+// calls block until the node answers or the connection dies.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects with a default per-call deadline (0 keeps
+// calls unbounded). The deadline also bounds the dial itself.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("ctl: dial %q: %w", addr, err)
+		return nil, fmt.Errorf("ctl: dial %s: %w: %v", addr, ErrUnavailable, err)
 	}
-	return &Client{conn: conn, br: bufio.NewReaderSize(conn, maxLine)}, nil
+	return &Client{
+		addr:    addr,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, maxLine),
+		timeout: timeout,
+	}, nil
+}
+
+// SetTimeout installs the default per-call deadline applied to every
+// exchange that does not override it; 0 removes it.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Reconnect redials the node and replaces a poisoned connection,
+// keeping the configured default deadline. The driver calls it after
+// an ErrUnavailable once it believes the node is back (restarted, or
+// SIGCONTed).
+func (c *Client) Reconnect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("ctl: reconnect %s: %w: %v", c.addr, ErrUnavailable, err)
+	}
+	if c.conn != nil {
+		c.conn.Close() //nolint:errcheck // already poisoned
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, maxLine)
+	c.broken = nil
+	return nil
+}
+
+// Broken reports whether the connection is poisoned — a prior call
+// timed out or the stream died — and needs Reconnect before it can
+// carry requests again.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken != nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Do performs one request/response exchange. A transport failure
-// (node killed mid-call, say) is returned as an error; a protocol
-// level failure arrives in Response.Err.
+// Do performs one request/response exchange under the client's
+// default deadline (if any). A transport failure or timeout (node
+// killed or frozen mid-call, say) is returned as an error wrapping
+// ErrUnavailable; a protocol-level failure arrives in Response.Err.
 func (c *Client) Do(req Request) (Response, error) {
+	return c.DoTimeout(req, 0)
+}
+
+// DoTimeout performs one exchange with a per-call deadline override;
+// 0 falls back to the client default, and negative disables the
+// deadline for this call even if a default is set.
+func (c *Client) DoTimeout(req Request, timeout time.Duration) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return Response{}, fmt.Errorf("ctl: %s after earlier failure: %w", req.Op, c.broken)
+	}
+	if timeout == 0 {
+		timeout = c.timeout
+	}
 	b, err := json.Marshal(&req)
 	if err != nil {
 		return Response{}, err
 	}
+	if timeout > 0 {
+		deadline := time.Now().Add(timeout) //lint:walltime host-side control-connection deadline; the control plane never runs under the simulation kernel
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return Response{}, c.poison(req.Op, err)
+		}
+		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset on a live conn
+	}
 	if _, err := c.conn.Write(append(b, '\n')); err != nil {
-		return Response{}, fmt.Errorf("ctl: send %s: %w", req.Op, err)
+		return Response{}, c.poison(req.Op, err)
 	}
 	line, err := c.br.ReadBytes('\n')
 	if err != nil {
-		return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
+		return Response{}, c.poison(req.Op, err)
 	}
 	var resp Response
 	if err := json.Unmarshal(line, &resp); err != nil {
 		return Response{}, fmt.Errorf("ctl: decode %s: %w", req.Op, err)
 	}
 	return resp, nil
+}
+
+// poison records a transport failure and wraps it as ErrUnavailable.
+// Called with c.mu held.
+func (c *Client) poison(op string, err error) error {
+	c.broken = fmt.Errorf("%w: %v", ErrUnavailable, err)
+	return fmt.Errorf("ctl: %s: %w", op, c.broken)
 }
 
 // do performs an exchange and folds Response.Err into the error,

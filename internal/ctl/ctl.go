@@ -96,13 +96,20 @@ type Response struct {
 	ShardMap []byte `json:"shardmap,omitempty"`
 }
 
-// Stats carries the node's transport counters.
+// Stats carries the node's transport counters plus the transaction
+// manager's retry ledger — the numbers a fault driver pins to prove a
+// storm stayed within its datagram budget.
 type Stats struct {
 	Sent     int    `json:"sent"`
 	Recv     int    `json:"recv"`
 	Dropped  int    `json:"dropped"`
 	Oversize int    `json:"oversize"`
 	Err      string `json:"err,omitempty"`
+	// Retransmits counts datagrams re-sent by timer-driven retry
+	// rounds; Inquiries counts outcome inquiries sent. Both are zero
+	// in a fault-free run where every answer beats its timer.
+	Retransmits int `json:"retransmits"`
+	Inquiries   int `json:"inquiries"`
 }
 
 // maxLine bounds one protocol line; values are small keys and values,
@@ -334,6 +341,9 @@ func (s *Server) handle(req Request) Response {
 		if err := n.Peer().Err(); err != nil {
 			st.Err = err.Error()
 		}
+		cs := n.TM().Stats()
+		st.Retransmits = cs.Retransmits
+		st.Inquiries = cs.Inquiries
 		return Response{OK: true, Stats: st}
 
 	default:

@@ -1,0 +1,148 @@
+package netem
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Decision is what the emulator rules for one datagram.
+type Decision struct {
+	// Drop destroys the datagram (lossy link or partition window).
+	Drop bool
+	// Dup is how many extra copies to deliver.
+	Dup int
+	// Delay defers delivery (fixed delay + jitter + reorder hold).
+	Delay time.Duration
+}
+
+// Counts tallies emulator decisions for reports.
+type Counts struct {
+	Seen    int `json:"seen"`
+	Dropped int `json:"dropped"`
+	// Cut is the subset of Dropped due to partition windows.
+	Cut     int `json:"cut"`
+	Dupped  int `json:"dupped"`
+	Delayed int `json:"delayed"`
+}
+
+// Emulator applies a netem/v1 schedule's link rules and partition
+// windows to datagrams, one Decide call per send. All randomness
+// comes from per-ordered-pair PRNGs seeded from (schedule seed, from,
+// to), and the clock is injected, so the same schedule against the
+// same per-link datagram sequence yields the same decisions — in the
+// simulation that makes replay byte-identical, and on the real
+// network it makes a schedule a named, re-runnable experiment.
+type Emulator struct {
+	sched Schedule
+	// elapsed reports run-relative time; the caller chooses the clock
+	// (kernel time under the simulation, wall time in the proxy).
+	elapsed func() time.Duration
+
+	mu     sync.Mutex
+	rngs   map[[2]uint32]*rand.Rand
+	counts Counts
+}
+
+// NewEmulator builds an emulator over the schedule with the given
+// run-relative clock.
+func NewEmulator(s Schedule, elapsed func() time.Duration) *Emulator {
+	return &Emulator{sched: s, elapsed: elapsed, rngs: make(map[[2]uint32]*rand.Rand)}
+}
+
+// linkSeed mixes the schedule seed with the ordered pair so every
+// link draws an independent, reproducible stream.
+func linkSeed(seed int64, from, to uint32) int64 {
+	x := uint64(seed) ^ uint64(from)*0x9e3779b97f4a7c15 ^ uint64(to)*0xc2b2ae3d27d4eb4f
+	return int64(x)
+}
+
+func (e *Emulator) rng(from, to uint32) *rand.Rand {
+	k := [2]uint32{from, to}
+	r := e.rngs[k]
+	if r == nil {
+		r = rand.New(rand.NewSource(linkSeed(e.sched.Seed, from, to)))
+		e.rngs[k] = r
+	}
+	return r
+}
+
+// cut reports whether the partition p severs the from→to direction.
+func (p Partition) cut(from, to uint32) bool {
+	if p.B == 0 { // isolate A from everyone
+		return from == p.A || to == p.A
+	}
+	if from == p.A && to == p.B {
+		return true
+	}
+	return !p.OneWay && from == p.B && to == p.A
+}
+
+// active reports whether a [StartMs, EndMs) window covers elapsed;
+// EndMs 0 means the window never closes.
+func active(startMs, endMs int, elapsed time.Duration) bool {
+	if elapsed < time.Duration(startMs)*time.Millisecond {
+		return false
+	}
+	return endMs == 0 || elapsed < time.Duration(endMs)*time.Millisecond
+}
+
+// Decide rules on one from→to datagram at the current elapsed time.
+// Partition windows are checked first and consume no randomness, so
+// their effect is independent of traffic volume; then every matching
+// link rule is applied in schedule order, drawing from the pair's
+// PRNG in a fixed per-rule order (drop, dup, jitter, reorder).
+func (e *Emulator) Decide(from, to uint32) Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.elapsed()
+	e.counts.Seen++
+	for _, p := range e.sched.Partitions {
+		if active(p.StartMs, p.EndMs, now) && p.cut(from, to) {
+			e.counts.Dropped++
+			e.counts.Cut++
+			return Decision{Drop: true}
+		}
+	}
+	var d Decision
+	r := e.rng(from, to)
+	for _, ru := range e.sched.Links {
+		if ru.From != 0 && ru.From != from {
+			continue
+		}
+		if ru.To != 0 && ru.To != to {
+			continue
+		}
+		if !active(ru.StartMs, ru.EndMs, now) {
+			continue
+		}
+		if ru.Drop > 0 && r.Float64() < ru.Drop {
+			e.counts.Dropped++
+			return Decision{Drop: true}
+		}
+		if ru.Dup > 0 && r.Float64() < ru.Dup {
+			d.Dup++
+		}
+		d.Delay += time.Duration(ru.DelayMs) * time.Millisecond
+		if ru.JitterMs > 0 {
+			d.Delay += time.Duration(r.Int63n(int64(ru.JitterMs))) * time.Millisecond
+		}
+		if ru.Reorder > 0 && r.Float64() < ru.Reorder {
+			d.Delay += time.Duration(ru.ReorderMs) * time.Millisecond
+		}
+	}
+	if d.Dup > 0 {
+		e.counts.Dupped++
+	}
+	if d.Delay > 0 {
+		e.counts.Delayed++
+	}
+	return d
+}
+
+// Counts returns a snapshot of the decision tallies.
+func (e *Emulator) Counts() Counts {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counts
+}

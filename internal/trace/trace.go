@@ -55,6 +55,8 @@ const (
 	EvFaultInject       // a network or storage fault was switched on
 	EvFaultClear        // a previously injected fault was switched off
 	EvCheckpoint        // disk manager materialized the log into the image
+	EvRetry             // timer-driven retransmit or inquiry round
+	EvBackoff           // retry timer re-armed with a backed-off delay
 )
 
 var kindNames = map[Kind]string{
@@ -66,6 +68,7 @@ var kindNames = map[Kind]string{
 	EvThreadSwitch: "ThreadSwitch", EvTimerFire: "TimerFire",
 	EvFaultInject: "FaultInject", EvFaultClear: "FaultClear",
 	EvCheckpoint: "Checkpoint",
+	EvRetry:      "Retry", EvBackoff: "Backoff",
 }
 
 // String returns the event kind's name.
@@ -147,6 +150,13 @@ type SiteCounters struct {
 	MsgsDropped  int `json:"msgs_dropped"`  // TM datagrams lost
 	RPCs         int `json:"rpcs"`          // communication-manager datagrams queued
 	IPCs         int `json:"ipcs"`          // local IPC round trips charged
+	// Retransmits and Inquiries count the timer-driven recovery
+	// traffic: datagrams re-sent because an answer never came, and
+	// outcome inquiries from blocked subordinates. Fault-free runs
+	// record zero of both, so they are omitted from reports (and the
+	// pre-existing goldens) when empty.
+	Retransmits int `json:"retransmits,omitempty"` // timer-driven datagram re-sends
+	Inquiries   int `json:"inquiries,omitempty"`   // outcome inquiries sent
 }
 
 // FamilyCounters aggregates one transaction family's activity at one
@@ -406,6 +416,43 @@ func (c *Collector) IPC(site tid.SiteID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.siteLocked(site).IPCs++
+}
+
+// Retry records one timer-driven retransmit round at site: n datagrams
+// of the named flavor re-sent because no answer arrived. It bumps the
+// site's Retransmits counter by n; fault-free runs record none.
+func (c *Collector) Retry(site tid.SiteID, t tid.TID, what string, n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.siteLocked(site).Retransmits += n
+	c.recordLocked(Event{Kind: EvRetry, Site: site, TID: t, Info: what})
+}
+
+// Inquiry records one outcome inquiry sent from a blocked subordinate
+// at site to the family's coordinator.
+func (c *Collector) Inquiry(site tid.SiteID, t tid.TID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.siteLocked(site).Inquiries++
+	c.recordLocked(Event{Kind: EvRetry, Site: site, TID: t, Info: "inquire"})
+}
+
+// Backoff records a retry timer re-armed with a backed-off delay
+// (strictly above the base interval). No counter: every backoff
+// accompanies a Retry/Inquiry that is already counted.
+func (c *Collector) Backoff(site tid.SiteID, t tid.TID, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(Event{Kind: EvBackoff, Site: site, TID: t, Info: fmt.Sprintf("delay=%s", d)})
 }
 
 // LockWait counts one contended acquisition of a lock of the given

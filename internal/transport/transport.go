@@ -75,6 +75,26 @@ type Config struct {
 // exactly the k-th datagram of a fault schedule.
 type Injector func(from, to tid.SiteID, payload any) bool
 
+// Shape is a Shaper's verdict for one unreliable datagram. Drop
+// destroys it; Dup delivers that many extra copies; Delay adds to the
+// one-way latency (of every copy). Reordering falls out of Delay: a
+// delayed datagram arrives after datagrams sent later without delay.
+type Shape struct {
+	Drop  bool
+	Dup   int
+	Delay time.Duration
+}
+
+// Shaper is an optional per-datagram traffic-shaping hook — the
+// Injector's many-valued generalization, carrying the netem/v1 link
+// fault vocabulary (drop, duplicate, delay/reorder) so schedules
+// written for the real network replay identically in the simulation.
+// It is consulted at send time for every unreliable datagram, with
+// the network lock held: it must not call back into the Network or
+// block — schedule side effects through rt.Runtime.After instead.
+// Reliable (RPC) traffic is not shaped; netem models datagram links.
+type Shaper func(from, to tid.SiteID, payload any) Shape
+
 // Network connects sites. It is safe for concurrent use from many
 // runtime threads, and its fault switches (SetLossRate, SetDown,
 // SetPartition, SetInjector) may be toggled at any moment mid-run:
@@ -93,6 +113,7 @@ type Network struct {
 	cut       map[[2]tid.SiteID]bool
 	nextFree  map[tid.SiteID]rt.Time
 	injector  Injector
+	shaper    Shaper
 	sent      int
 	delivered int
 	dropped   int
@@ -266,6 +287,14 @@ func (n *Network) SetInjector(f Injector) {
 	n.injector = f
 }
 
+// SetShaper installs (or, with nil, removes) the per-datagram
+// traffic-shaping hook. Safe to toggle mid-run.
+func (n *Network) SetShaper(f Shaper) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.shaper = f
+}
+
 // Stats reports datagrams sent, delivered, and dropped.
 func (n *Network) Stats() (sent, delivered, dropped int) {
 	n.mu.Lock()
@@ -317,7 +346,39 @@ func (n *Network) deliverLocked(d Datagram, leave rt.Time) {
 		n.tr.MsgDrop(d.From, d.To, d.Payload)
 		return
 	}
-	arriveIn := leave - n.r.Now() + n.cfg.Latency
+	copies, extra := 1, time.Duration(0)
+	if n.shaper != nil {
+		sh := n.shaper(d.From, d.To, d.Payload)
+		if sh.Drop {
+			n.dropped++
+			n.tr.FaultInject(d.From, d.To, "drop")
+			n.tr.MsgDrop(d.From, d.To, d.Payload)
+			return
+		}
+		if sh.Dup > 0 {
+			copies += sh.Dup
+			n.tr.FaultInject(d.From, d.To, fmt.Sprintf("dup=%d", sh.Dup))
+		}
+		if sh.Delay > 0 {
+			extra = sh.Delay
+			n.tr.FaultInject(d.From, d.To, fmt.Sprintf("delay=%s", sh.Delay))
+		}
+	}
+	arriveIn := leave - n.r.Now() + n.cfg.Latency + extra
+	for i := 0; i < copies; i++ {
+		if i > 0 {
+			// Network-made duplicate: counted as its own send so the
+			// sent/delivered/dropped ledger still balances.
+			n.sent++
+			n.tr.MsgSend(d.From, d.To, d.Payload)
+		}
+		n.arriveLocked(d, arriveIn)
+	}
+}
+
+// arriveLocked schedules one copy's arrival; crash and partition
+// state are re-checked at delivery time.
+func (n *Network) arriveLocked(d Datagram, arriveIn time.Duration) {
 	n.r.After(arriveIn, func() {
 		n.mu.Lock()
 		h := n.handlers[d.To]

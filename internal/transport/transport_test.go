@@ -224,3 +224,61 @@ func TestHandlerReplacementOnRecovery(t *testing.T) {
 		t.Errorf("old handler got %d, new got %d; want 0/1", old, new_)
 	}
 }
+
+func TestShaperDupDeliversExtraCopies(t *testing.T) {
+	k := sim.New(1)
+	n := NewNetwork(k, cfg())
+	var got []Datagram
+	n.Register(2, func(d Datagram) { got = append(got, d) })
+	n.SetShaper(func(from, to tid.SiteID, payload any) Shape {
+		return Shape{Dup: 2}
+	})
+	k.Go("main", func() { n.Send(1, 2, "x") })
+	k.Run()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d copies, want 3 (original + 2 dups)", len(got))
+	}
+	sent, delivered, dropped := n.Stats()
+	if sent != 3 || delivered != 3 || dropped != 0 {
+		t.Errorf("stats = (%d,%d,%d), want (3,3,0)", sent, delivered, dropped)
+	}
+}
+
+func TestShaperDelayReordersAgainstLaterSends(t *testing.T) {
+	k := sim.New(1)
+	n := NewNetwork(k, cfg())
+	var order []string
+	n.Register(2, func(d Datagram) { order = append(order, d.Payload.(string)) })
+	n.SetShaper(func(from, to tid.SiteID, payload any) Shape {
+		if payload == "first" {
+			return Shape{Delay: 50 * time.Millisecond}
+		}
+		return Shape{}
+	})
+	k.Go("main", func() {
+		n.Send(1, 2, "first")
+		n.Send(1, 2, "second")
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("arrival order = %v, want [second first]", order)
+	}
+}
+
+func TestShaperDropCounts(t *testing.T) {
+	k := sim.New(1)
+	n := NewNetwork(k, cfg())
+	delivered := 0
+	n.Register(2, func(d Datagram) { delivered++ })
+	n.SetShaper(func(from, to tid.SiteID, payload any) Shape {
+		return Shape{Drop: true}
+	})
+	k.Go("main", func() { n.Send(1, 2, "x") })
+	k.Run()
+	if delivered != 0 {
+		t.Fatalf("shaped-drop datagram was delivered")
+	}
+	if _, _, dropped := n.Stats(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}

@@ -1,0 +1,55 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFailStoreFailsAtProgrammedAppend(t *testing.T) {
+	fs := NewFailStore(NewMemStore(), 2)
+	if err := fs.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]byte("c")); !errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("append 2 = %v, want ErrDiskFailed", err)
+	}
+	if !fs.Failed() {
+		t.Fatal("store not marked failed")
+	}
+	// Dead is sticky for mutations…
+	if err := fs.Append([]byte("d")); !errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("append after death = %v", err)
+	}
+	if err := fs.Truncate(1); !errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("truncate after death = %v", err)
+	}
+	if err := fs.DropTail(1); !errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("droptail after death = %v", err)
+	}
+	// …but the written blocks still read back.
+	blocks, err := fs.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || string(blocks[0]) != "a" || string(blocks[1]) != "b" {
+		t.Fatalf("blocks = %q", blocks)
+	}
+}
+
+func TestFailStoreNegativeNeverFails(t *testing.T) {
+	fs := NewFailStore(NewMemStore(), -1)
+	for i := 0; i < 100; i++ {
+		if err := fs.Append([]byte("x")); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := fs.Truncate(50); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Failed() {
+		t.Fatal("transparent wrapper reported failure")
+	}
+}
