@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race torture chaos paxos golden bench cluster netem
+.PHONY: all build test check fmt vet lint race torture chaos paxos golden bench cluster netem loadgen
 
 all: build
 
@@ -78,6 +78,18 @@ golden: lint
 bench:
 	$(GO) run ./cmd/camelot-bench -quick -json -realtime -realnet > BENCH_8.json
 	@echo "wrote BENCH_8.json"
+
+# The open-loop load generator (R5, DESIGN.md §13): a seeded arrival
+# schedule at each target rate drives a freshly booted real 3-site
+# cluster per cell over the ctl control plane; latency is measured
+# from each operation's intended arrival time, so queueing delay under
+# overload lands in the percentiles instead of vanishing (coordinated
+# omission). CI archives the camelot-load/v1 report.
+loadgen:
+	$(GO) run ./cmd/camelot-bench -loadgen -json -rates 200,500,1000 \
+		-protocols 2pc,nb,paxos -duration 1s -sessions 64 -seed 1 \
+		> loadgen-report.json
+	@echo "wrote loadgen-report.json"
 
 # A real multi-process cluster on loopback: spawn camelot-node
 # daemons, run the seeded distributed workload with a mid-run SIGKILL

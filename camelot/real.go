@@ -284,6 +284,14 @@ func (n *RealNode) OutcomeOf(f tid.FamilyID) wire.Outcome {
 	return n.tm.OutcomeOf(f)
 }
 
+// LogStats reports the write-ahead log's counters: records appended
+// and device writes actually issued (group commit coalesces many
+// appends into one write). Performance reports charge the commit
+// protocols by these — the paper's log-force budget, measured.
+func (n *RealNode) LogStats() (appends, deviceWrites int) {
+	return n.log.Appends(), n.log.DeviceWrites()
+}
+
 // Close stops the site: transaction manager, log, and socket. The WAL
 // file survives for the next incarnation's Recover.
 func (n *RealNode) Close() error {

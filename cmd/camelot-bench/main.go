@@ -6,6 +6,9 @@
 // Usage:
 //
 //	camelot-bench [-quick] [-json] [-realtime] [-realnet] [-only <experiment>]
+//	camelot-bench -loadgen [-rates 200,500,1000] [-duration 2s]
+//	              [-protocols 2pc,nb,paxos] [-sites 3] [-shards 0]
+//	              [-sessions 64] [-dist poisson] [-seed 1] [-json]
 //
 // Experiments: table1 table2 table3 figure1 figure2 figure3 three-way
 // figure4 figure5 rpc multicast contention ablations realtime realnet
@@ -18,6 +21,13 @@
 // real-network experiments (R2, R3, R4), which run the commitment
 // protocols — including the sharded data tier's cross-shard commits —
 // over actual loopback UDP sockets.
+//
+// -loadgen switches to the open-loop load generator (R5): a seeded
+// arrival schedule at each target rate drives a freshly booted
+// real cluster through the ctl control plane, and latency is measured
+// from each operation's intended arrival time (see DESIGN.md §13).
+// With -json it emits the camelot-load/v1 report instead of the text
+// table.
 package main
 
 import (
@@ -25,19 +35,102 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"camelot/internal/exp"
+	"camelot/internal/load"
 	"camelot/internal/params"
 	"camelot/internal/stats"
 )
 
+func runLoadgen(jsonOut bool) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	protocols := fs.String("protocols", "2pc,nb,paxos", "comma-separated commit protocols")
+	rates := fs.String("rates", "200,500,1000", "comma-separated target rates, ops/second")
+	duration := fs.Duration("duration", 2*time.Second, "scheduled arrival window per cell")
+	sites := fs.Int("sites", 3, "cluster size")
+	shards := fs.Int("shards", 0, "shard count (0 = unsharded store)")
+	sessions := fs.Int("sessions", 64, "concurrent client sessions")
+	dist := fs.String("dist", load.DistPoisson, "arrival distribution: poisson or uniform")
+	seed := fs.Int64("seed", 1, "arrival-schedule seed")
+	jsonFlag := fs.Bool("json", jsonOut, "emit the camelot-load/v1 JSON report")
+	fs.Parse(loadgenArgs()) //nolint:errcheck // ExitOnError
+
+	var rateList []float64
+	for _, s := range strings.Split(*rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad rate %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		rateList = append(rateList, r)
+	}
+	dir, err := os.MkdirTemp("", "camelot-loadgen-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // best-effort cleanup
+
+	cfg := load.BenchConfig{
+		Protocols: strings.Split(*protocols, ","),
+		Rates:     rateList,
+		Duration:  *duration,
+		Sites:     *sites,
+		Shards:    *shards,
+		Sessions:  *sessions,
+		Dist:      *dist,
+		Seed:      *seed,
+		Dir:       dir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	rep, err := load.RunBench(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonFlag {
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Println(rep.Table())
+}
+
+// loadgenArgs strips the -loadgen flag itself so the loadgen flag set
+// parses the rest of the command line.
+func loadgenArgs() []string {
+	var out []string
+	for _, a := range os.Args[1:] {
+		if a == "-loadgen" || a == "--loadgen" {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
 func main() {
+	for _, a := range os.Args[1:] {
+		if a == "-loadgen" || a == "--loadgen" {
+			runLoadgen(false)
+			return
+		}
+	}
 	quick := flag.Bool("quick", false, "fewer trials; finishes in seconds")
 	jsonOut := flag.Bool("json", false, "emit the camelot-bench/v1 JSON report")
 	realtime := flag.Bool("realtime", false, "include the real-runtime scaling experiment (host-dependent)")
 	realnet := flag.Bool("realnet", false, "include the real-network UDP experiments (host-dependent)")
 	only := flag.String("only", "", "run a single experiment by name")
+	flag.Bool("loadgen", false, "run the open-loop load generator (see -loadgen -help)")
 	flag.Parse()
 
 	trials := 25

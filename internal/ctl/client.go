@@ -133,8 +133,23 @@ func (c *Client) Broken() bool {
 	return c.broken != nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection and marks the client broken: any later
+// Do fails typed (ErrUnavailable) instead of writing to a closed
+// conn. It holds c.mu the whole way — Reconnect swaps c.conn under
+// the same lock, and the old unlocked read raced it. Nil-safe and
+// idempotent; Reconnect may still revive the client afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn := c.conn
+	c.conn = nil
+	c.br = nil
+	c.broken = fmt.Errorf("%w: client closed", ErrUnavailable)
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}
 
 // Do performs one request/response exchange under the client's
 // default deadline (if any). A transport failure or timeout (node
@@ -170,8 +185,18 @@ func (c *Client) DoTimeout(req Request, timeout time.Duration) (Response, error)
 	if _, err := c.conn.Write(append(b, '\n')); err != nil {
 		return Response{}, c.poison(req.Op, err)
 	}
-	line, err := c.br.ReadBytes('\n')
+	line, err := c.br.ReadSlice('\n')
 	if err != nil {
+		// ErrBufferFull means the node wrote a line longer than the
+		// protocol bound (maxLine, the reader's buffer size). The
+		// remainder of the line is still in the stream, so every
+		// later exchange would read from mid-line: the connection is
+		// desynchronized and must be poisoned, exactly like a
+		// timeout, until Reconnect replaces it. (The old unbounded
+		// ReadBytes never hit this — it grew without limit instead.)
+		if errors.Is(err, bufio.ErrBufferFull) {
+			err = fmt.Errorf("response line exceeds %d bytes: %v", maxLine, err)
+		}
 		return Response{}, c.poison(req.Op, err)
 	}
 	var resp Response

@@ -1,0 +1,223 @@
+package ctl
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"camelot/camelot"
+	"camelot/internal/shardmap"
+)
+
+// TestClientCloseReconnectDoRace is the regression test for the
+// unsynchronized Close: it read c.conn without c.mu while Reconnect
+// swapped the field under lock, a data race visible to `go test
+// -race` and, in the field, a write to a stale conn. Close, Reconnect,
+// and Do now all serialize on c.mu; hammering them concurrently must
+// produce no race reports and nothing but typed errors.
+func TestClientCloseReconnectDoRace(t *testing.T) {
+	m, err := shardmap.New(1, 4, []camelot.SiteID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startShardedNode(t, 1, m)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				if _, err := c.Ping(); err != nil && !errors.Is(err, ErrUnavailable) {
+					t.Errorf("Ping: non-typed error %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		<-start
+		for j := 0; j < 25; j++ {
+			c.Close() //nolint:errcheck // racing on purpose
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for j := 0; j < 25; j++ {
+			c.Reconnect() //nolint:errcheck // racing on purpose
+		}
+	}()
+	close(start)
+	wg.Wait()
+
+	// Whatever interleaving happened, the client must be revivable.
+	if err := c.Reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseIsNilSafeAndTyped: Close on an already-closed client is a
+// no-op, and Do after Close fails fast with ErrUnavailable instead of
+// writing to a dead conn.
+func TestCloseIsNilSafeAndTyped(t *testing.T) {
+	m, err := shardmap.New(1, 4, []camelot.SiteID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startShardedNode(t, 1, m)
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v, want nil", err)
+	}
+	if !c.Broken() {
+		t.Fatal("client not marked broken after Close")
+	}
+	if _, err := c.Ping(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Ping after Close: %v, want ErrUnavailable", err)
+	}
+	if err := c.Reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("Ping after Reconnect: %v", err)
+	}
+}
+
+// oversizeServer speaks just enough of the ctl JSON-line protocol to
+// reproduce a node writing a response line longer than maxLine: the
+// first exchange on each of the first `bad` connections gets a giant
+// line, everything after answers `{}`.
+func oversizeServer(t *testing.T, bad int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() }) //nolint:errcheck // test teardown
+	huge := "{\"err\":\"" + strings.Repeat("x", maxLine+16) + "\"}\n"
+	conns := 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns++
+			first := conns <= bad
+			go func(conn net.Conn, poisonFirst bool) {
+				defer conn.Close() //nolint:errcheck // test server
+				br := bufio.NewReader(conn)
+				for i := 0; ; i++ {
+					if _, err := br.ReadBytes('\n'); err != nil {
+						return
+					}
+					resp := "{}\n"
+					if poisonFirst && i == 0 {
+						resp = huge
+					}
+					if _, err := conn.Write([]byte(resp)); err != nil {
+						return
+					}
+				}
+			}(conn, first)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestOversizedResponsePoisonsConnection is the regression test for
+// the bufio.ErrBufferFull desync: a response line longer than maxLine
+// used to leave the remainder of the line in the stream, so the next
+// exchange decoded from mid-line garbage. The client must now treat
+// the oversized line as a transport failure: the call fails with
+// ErrUnavailable, the connection is sticky-broken until Reconnect,
+// and after Reconnect the stream is clean.
+func TestOversizedResponsePoisonsConnection(t *testing.T) {
+	addr := oversizeServer(t, 1)
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck // test teardown
+
+	if _, err := c.Do(Request{Op: OpPing}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("oversized response: %v, want ErrUnavailable", err)
+	}
+	if !c.Broken() {
+		t.Fatal("client not poisoned by oversized response")
+	}
+	// Sticky: the next call must fail fast, not read desynced bytes.
+	if _, err := c.Do(Request{Op: OpPing}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("call after poisoning: %v, want ErrUnavailable", err)
+	}
+	if err := c.Reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do(Request{Op: OpPing}); err != nil {
+		t.Fatalf("exchange after Reconnect: %v", err)
+	}
+}
+
+// TestPoolRecyclesConnections: a Get/Put cycle reuses the same
+// connection instead of redialing; broken clients are dropped; a
+// closed pool fails Gets typed.
+func TestPoolRecyclesConnections(t *testing.T) {
+	m, err := shardmap.New(1, 4, []camelot.SiteID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c0 := startShardedNode(t, 1, m)
+	// Find the server address from the dialed test client.
+	addr := c0.addr
+
+	p := NewPool(addr, 2*time.Second, 8)
+	defer p.Close() //nolint:errcheck // test teardown
+
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatal("pool did not recycle the idle client")
+	}
+	if got := p.Dials(); got != 1 {
+		t.Fatalf("Dials() = %d, want 1", got)
+	}
+
+	// A broken client must not be recycled.
+	c2.Close() //nolint:errcheck // poisoning on purpose
+	p.Put(c2)
+	if got := p.Idle(); got != 0 {
+		t.Fatalf("Idle() = %d after putting a broken client, want 0", got)
+	}
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Get on closed pool: %v, want ErrPoolClosed", err)
+	}
+}

@@ -90,20 +90,29 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range entries {
-		if isPackageFile(e.Name()) && !e.IsDir() {
+		if isPackageFile(dir, e.Name()) && !e.IsDir() {
 			return true
 		}
 	}
 	return false
 }
 
-// isPackageFile selects the non-test Go sources of a directory, the
-// same set the analyzers run over.
-func isPackageFile(name string) bool {
-	return strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") &&
-		!strings.HasPrefix(name, ".") &&
-		!strings.HasPrefix(name, "_")
+// isPackageFile selects the non-test Go sources of a directory that
+// build on the host platform — the same set the compiler would use.
+// Build constraints matter: internal/transport carries a
+// linux-only sendmmsg/recvmmsg fast path beside its portable stub,
+// and parsing both into one package is a redeclaration error.
+func isPackageFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") ||
+		strings.HasSuffix(name, "_test.go") ||
+		strings.HasPrefix(name, ".") ||
+		strings.HasPrefix(name, "_") {
+		return false
+	}
+	// MatchFile applies //go:build lines and _GOOS/_GOARCH filename
+	// suffixes for the default (host) context.
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // Import implements types.Importer so a Loader can resolve its own
@@ -141,7 +150,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && isPackageFile(e.Name()) {
+		if !e.IsDir() && isPackageFile(dir, e.Name()) {
 			names = append(names, e.Name())
 		}
 	}

@@ -32,6 +32,7 @@ var deterministicPkgs = map[string]bool{
 	"camelot/internal/chaos":     true,
 	"camelot/internal/oracle":    true,
 	"camelot/internal/shardmap":  true,
+	"camelot/internal/load":      true,
 }
 
 // InScope reports whether the analyzer applies to the package. The

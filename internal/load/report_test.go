@@ -1,0 +1,101 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func fixedReport() *Report {
+	return &Report{
+		Schema:     Schema,
+		Sites:      3,
+		Shards:     6,
+		Sessions:   8,
+		Dist:       DistPoisson,
+		Seed:       1,
+		DurationMS: 2000,
+		Rows: []Row{
+			{
+				Protocol: "2pc", TargetRate: 200, Offered: 199.5, Goodput: 198.2,
+				Ops: 399, Errs: 0,
+				P50us: 1250.5, P95us: 2210.9, P99us: 3400.1, P999us: 5100.7, MaxUs: 6200.0,
+				WALAppends: 2400, WALDeviceWrites: 310,
+				Sent: 4800, Recv: 4790, Dropped: 0, Dials: 16,
+			},
+			{
+				Protocol: "nb", TargetRate: 200, Offered: 199.5, Goodput: 197.0,
+				Ops: 399, Errs: 1,
+				P50us: 1100.2, P95us: 2000.4, P99us: 3100.8, P999us: 4900.3, MaxUs: 5800.0,
+				WALAppends: 2600, WALDeviceWrites: 290,
+				Sent: 5200, Recv: 5180, Dropped: 2, Dials: 16,
+			},
+		},
+	}
+}
+
+// TestReportGolden pins the camelot-load/v1 wire format byte for byte.
+// Field renames, reordering, or tag changes fail here on purpose: the
+// JSON is a CI artifact other tooling parses. Run with -update to
+// regenerate after a deliberate schema bump (which must also bump the
+// Schema version string).
+func TestReportGolden(t *testing.T) {
+	got, err := fixedReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "report_v1.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("camelot-load/v1 encoding drifted from golden (run with -update if deliberate)\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestReportSchemaFields: the schema tag itself and round-trip
+// fidelity through generic JSON.
+func TestReportSchemaFields(t *testing.T) {
+	b, err := fixedReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(b, &generic); err != nil {
+		t.Fatal(err)
+	}
+	if generic["schema"] != "camelot-load/v1" {
+		t.Fatalf("schema = %v", generic["schema"])
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[1].Errs != 1 || back.Rows[0].Dials != 16 {
+		t.Fatal("round trip lost fields")
+	}
+}
+
+// TestReportTable: the terminal rendering mentions every protocol and
+// the workload identity line.
+func TestReportTable(t *testing.T) {
+	out := fixedReport().Table().String()
+	for _, want := range []string{"2pc", "nb", "p99", "3 sites"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival distributions.
+const (
+	// DistPoisson draws exponential inter-arrival times: the
+	// memoryless open-loop workload, bursty the way independent
+	// clients are.
+	DistPoisson = "poisson"
+	// DistUniform spaces arrivals exactly 1/rate apart: a metronome,
+	// useful for isolating queueing effects from arrival burstiness.
+	DistUniform = "uniform"
+)
+
+// Arrivals returns the intended arrival offsets of an open-loop
+// schedule: every instant, relative to the run's start, at which the
+// generator must launch one operation to offer `rate` operations per
+// second for `duration`. The schedule is drawn entirely up front from
+// the seed, so a (dist, seed, rate, duration) tuple names one exact
+// workload — reproducible across runs, machines, and protocols under
+// comparison.
+func Arrivals(dist string, seed int64, rate float64, duration time.Duration) ([]time.Duration, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("load: rate %v must be positive", rate)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("load: duration %v must be positive", duration)
+	}
+	interval := float64(time.Second) / rate
+	var out []time.Duration
+	switch dist {
+	case DistUniform:
+		for t := 0.0; time.Duration(t) < duration; t += interval {
+			out = append(out, time.Duration(t))
+		}
+	case DistPoisson:
+		rng := rand.New(rand.NewSource(seed))
+		t := 0.0
+		for {
+			// Exponential inter-arrival: -ln(U)/rate. Float64 is in
+			// [0,1); guard the log's zero.
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			t += -math.Log(u) * interval
+			if time.Duration(t) >= duration {
+				return out, nil
+			}
+			out = append(out, time.Duration(t))
+		}
+	default:
+		return nil, fmt.Errorf("load: unknown arrival distribution %q", dist)
+	}
+	return out, nil
+}

@@ -1,0 +1,17 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+import (
+	"camelot/internal/tid"
+	"camelot/internal/wire"
+)
+
+// sendBatch is the non-linux stub: no batched syscalls, the portable
+// one-write-per-destination loop always runs.
+func (p *UDPPeer) sendBatch(tos []tid.SiteID, buf []byte, m *wire.Msg) bool {
+	return false
+}
+
+// readBatch is the non-linux stub: the portable read loop always runs.
+func (p *UDPPeer) readBatch() bool { return false }

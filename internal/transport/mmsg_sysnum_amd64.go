@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package transport
+
+// sysSENDMMSG is sendmmsg(2)'s syscall number on linux/amd64. The
+// std syscall package's number table was frozen before sendmmsg was
+// added to the kernel, so the constant lives here (SYS_RECVMMSG made
+// the freeze and comes from the package).
+const sysSENDMMSG = 307

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package transport
+
+// sysSENDMMSG is sendmmsg(2)'s syscall number on linux/arm64 (the
+// generic 64-bit table). See mmsg_sysnum_amd64.go for why it is
+// defined here rather than taken from the syscall package.
+const sysSENDMMSG = 269

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
 
 	"camelot/internal/tid"
 	"camelot/internal/trace"
@@ -28,9 +29,23 @@ const backlogCap = 128
 // A UDPPeer carries only *wire.Msg payloads (the TranMan-to-TranMan
 // traffic of §3.2/§3.3); the communication-manager RPC path is
 // connection-oriented and would ride TCP in a full deployment.
+// bufPool recycles send-side datagram buffers. A buffer crosses into
+// the kernel synchronously inside WriteToUDP/sendmmsg, so it can be
+// recycled as soon as the send call returns; once the pool's buffers
+// have grown to the traffic's working size, marshaling a datagram
+// allocates nothing (wire.AppendDatagram into the recycled slice).
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
 type UDPPeer struct {
 	self tid.SiteID
 	conn *net.UDPConn
+	rc   syscall.RawConn
 
 	mu       sync.Mutex
 	peers    map[tid.SiteID]*net.UDPAddr
@@ -57,9 +72,15 @@ func NewUDPPeer(self tid.SiteID, listenAddr string) (*UDPPeer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: raw conn: %w", err)
+	}
 	p := &UDPPeer{
 		self:  self,
 		conn:  conn,
+		rc:    rc,
 		peers: make(map[tid.SiteID]*net.UDPAddr),
 	}
 	//lint:rawgo host-side UDP read loop; this transport never runs under the simulation kernel
@@ -129,12 +150,16 @@ func (p *UDPPeer) Send(from, to tid.SiteID, payload any) {
 	m := *msg
 	m.From = from
 	m.To = to
-	buf, err := wire.MarshalDatagram(&m)
+	bp := getBuf()
+	buf, err := wire.AppendDatagram((*bp)[:0], &m)
 	if err != nil {
+		putBuf(bp)
 		p.oversizeDrop(from, to, &m, err)
 		return
 	}
 	p.transmit(to, buf, &m)
+	*bp = buf[:0]
+	putBuf(bp)
 }
 
 // Multicast implements Sender. Loopback deployments have no real
@@ -165,11 +190,21 @@ func (p *UDPPeer) fanout(from tid.SiteID, tos []tid.SiteID, payload any) {
 	m := *msg
 	m.From = from
 	m.To = 0
-	buf, err := wire.MarshalDatagram(&m)
+	bp := getBuf()
+	buf, err := wire.AppendDatagram((*bp)[:0], &m)
 	if err != nil {
+		putBuf(bp)
 		for _, to := range tos {
 			p.oversizeDrop(from, to, &m, err)
 		}
+		return
+	}
+	// Batched fast path: one sendmmsg syscall for the whole fan-out
+	// (linux; falls back if a peer is missing, non-IPv4, or the kernel
+	// refuses the syscall).
+	if len(tos) > 1 && p.sendBatch(tos, buf, &m) {
+		*bp = buf[:0]
+		putBuf(bp)
 		return
 	}
 	for _, to := range tos {
@@ -177,6 +212,8 @@ func (p *UDPPeer) fanout(from tid.SiteID, tos []tid.SiteID, payload any) {
 		m.To = to
 		p.transmit(to, buf, &m)
 	}
+	*bp = buf[:0]
+	putBuf(bp)
 }
 
 // transmit puts one already marshaled datagram on the wire.
@@ -193,6 +230,12 @@ func (p *UDPPeer) transmit(to tid.SiteID, buf []byte, msg *wire.Msg) {
 		p.drop(msg.From, to, msg, err.Error())
 		return
 	}
+	p.sendDone(to, msg)
+}
+
+// sendDone accounts one datagram successfully handed to the kernel,
+// from either the portable write path or the batched syscall path.
+func (p *UDPPeer) sendDone(to tid.SiteID, msg *wire.Msg) {
 	p.mu.Lock()
 	p.sent++
 	tr := p.tr
@@ -261,6 +304,13 @@ func (p *UDPPeer) oversizeDrop(from, to tid.SiteID, msg *wire.Msg, err error) {
 }
 
 func (p *UDPPeer) readLoop() {
+	// The linux fast path drains the socket with recvmmsg — many
+	// datagrams per syscall — and returns true when the socket closes.
+	// It returns false only if the kernel refuses the syscall, in
+	// which case the portable one-datagram-per-read loop takes over.
+	if p.readBatch() {
+		return
+	}
 	// One byte beyond the legal maximum so truncation is detectable:
 	// a read that fills the whole buffer did not fit and cannot be a
 	// legal message.
@@ -270,39 +320,48 @@ func (p *UDPPeer) readLoop() {
 		if err != nil {
 			return // closed
 		}
-		if n > wire.MaxDatagram {
-			p.drop(0, p.self, nil, "datagram exceeds wire.MaxDatagram")
-			continue
-		}
-		msg, err := wire.Unmarshal(buf[:n])
-		if err != nil {
-			p.drop(0, p.self, nil, fmt.Sprintf("corrupt datagram: %v", err))
-			continue
-		}
-		d := Datagram{From: msg.From, To: p.self, Payload: msg}
-		p.mu.Lock()
-		h := p.handler
-		if h == nil {
-			// No handler yet: park the datagram until SetHandler. An
-			// overflowing backlog is loss, and is counted as such —
-			// the old behavior (count as received, deliver to no one)
-			// was a silent-loss bug.
-			if len(p.backlog) < backlogCap {
-				p.backlog = append(p.backlog, d)
-				p.recv++
-				p.mu.Unlock()
-				continue
-			}
-			p.mu.Unlock()
-			p.drop(msg.From, p.self, msg, "no handler and backlog full")
-			continue
-		}
-		p.recv++
-		tr := p.tr
-		p.mu.Unlock()
-		tr.MsgRecv(p.self, msg.From, msg)
-		h(d)
+		p.deliver(buf[:n])
 	}
+}
+
+// deliver decodes one received datagram and hands it to the handler
+// (or the backlog). The Msg is freshly allocated per datagram on
+// purpose: the handler chain (core.Manager.Deliver) parks the pointer
+// on an asynchronous work queue, so recycling it here would be a
+// use-after-recycle.
+func (p *UDPPeer) deliver(data []byte) {
+	if len(data) > wire.MaxDatagram {
+		p.drop(0, p.self, nil, "datagram exceeds wire.MaxDatagram")
+		return
+	}
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		p.drop(0, p.self, nil, fmt.Sprintf("corrupt datagram: %v", err))
+		return
+	}
+	d := Datagram{From: msg.From, To: p.self, Payload: msg}
+	p.mu.Lock()
+	h := p.handler
+	if h == nil {
+		// No handler yet: park the datagram until SetHandler. An
+		// overflowing backlog is loss, and is counted as such —
+		// the old behavior (count as received, deliver to no one)
+		// was a silent-loss bug.
+		if len(p.backlog) < backlogCap {
+			p.backlog = append(p.backlog, d)
+			p.recv++
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		p.drop(msg.From, p.self, msg, "no handler and backlog full")
+		return
+	}
+	p.recv++
+	tr := p.tr
+	p.mu.Unlock()
+	tr.MsgRecv(p.self, msg.From, msg)
+	h(d)
 }
 
 // UDPPeer must satisfy Sender.

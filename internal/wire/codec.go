@@ -31,9 +31,40 @@ const MaxDatagram = 65507
 // cannot force a huge allocation.
 const maxSlice = 1 << 16
 
-// Marshal encodes m into a self-describing byte string.
+// headerSize is the encoded size of every fixed field laid down by
+// AppendMarshal: Kind (1) + TID (16) + Parent (16) + From/To (8) +
+// Seq (8) + Flags (1) + four slice-length prefixes (8) + quorums (4)
+// + Vote/Outcome/State (3) + Ballot (8) + Accepted length prefix (2).
+const headerSize = 1 + 16 + 16 + 8 + 8 + 1 + 2 + 4 + 3 + 2 + 2 + 8 + 2 + 2
+
+// EncodedSize returns the exact number of bytes Marshal will produce
+// for m. Marshal sizes its buffer with it — one allocation, no
+// regrowth, even for the large AckTIDs/Votes/Acceptors messages the
+// ack-flush path batches — and callers that reuse buffers can
+// pre-grow with it.
+func EncodedSize(m *Msg) int {
+	return headerSize +
+		4*len(m.Sites) +
+		5*len(m.Votes) +
+		16*len(m.AckTIDs) +
+		4*len(m.Acceptors) +
+		13*len(m.Accepted)
+}
+
+// Marshal encodes m into a self-describing byte string. The buffer is
+// sized exactly (EncodedSize), so the encoding costs one allocation.
 func Marshal(m *Msg) []byte {
-	b := make([]byte, 0, 64)
+	return AppendMarshal(make([]byte, 0, EncodedSize(m)), m)
+}
+
+// AppendMarshal appends m's encoding to dst and returns the extended
+// slice, exactly as append does. This is the zero-allocation form of
+// Marshal: a sender that reuses its buffer across sends (the
+// transport's pooled datagram buffers, a benchmark's scratch) pays no
+// allocation at all once the buffer has grown to its working size.
+// The bytes produced are identical to Marshal's.
+func AppendMarshal(dst []byte, m *Msg) []byte {
+	b := dst
 	b = append(b, byte(m.Kind))
 	b = be64(b, uint64(m.TID.Family))
 	b = be64(b, uint64(m.TID.Seq))
@@ -81,12 +112,19 @@ func Marshal(m *Msg) []byte {
 // the offending size. Real-network senders must use this instead of
 // Marshal.
 func MarshalDatagram(m *Msg) ([]byte, error) {
+	return AppendDatagram(make([]byte, 0, EncodedSize(m)), m)
+}
+
+// AppendDatagram appends m's encoding to dst under the same send-side
+// invariants as MarshalDatagram. On error dst is returned unextended,
+// so a pooled buffer stays clean for its next use.
+func AppendDatagram(dst []byte, m *Msg) ([]byte, error) {
 	if !m.Kind.Registered() {
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
+		return dst, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
 	}
-	b := Marshal(m)
-	if len(b) > MaxDatagram {
-		return nil, fmt.Errorf("%w: %s is %d bytes (limit %d)", ErrOversize, m.Kind, len(b), MaxDatagram)
+	b := AppendMarshal(dst, m)
+	if len(b)-len(dst) > MaxDatagram {
+		return dst, fmt.Errorf("%w: %s is %d bytes (limit %d)", ErrOversize, m.Kind, len(b)-len(dst), MaxDatagram)
 	}
 	return b, nil
 }
@@ -106,8 +144,25 @@ func PatchTo(buf []byte, to tid.SiteID) {
 
 // Unmarshal decodes a message produced by Marshal.
 func Unmarshal(data []byte) (*Msg, error) {
-	d := decoder{buf: data}
 	m := &Msg{}
+	if err := UnmarshalInto(m, data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnmarshalInto decodes data into m, reusing m's slice capacity
+// instead of allocating fresh backing arrays. It is the
+// zero-allocation form of Unmarshal for callers that own the message
+// lifecycle and recycle Msg scratch (GetMsg/PutMsg, benchmarks): once
+// the slices have grown to the traffic's working size, decoding
+// allocates nothing. m is fully overwritten; on error its contents
+// are unspecified. Note the lifecycle caveat: a Msg handed to an
+// asynchronous consumer (core.Manager.Deliver parks it on the thread
+// pool's queue) must NOT be recycled by the receiver loop.
+func UnmarshalInto(m *Msg, data []byte) error {
+	d := decoder{buf: data}
+	m.Reset()
 	m.Kind = Kind(d.u8())
 	// Membership in the kind registry, not a range check: a range
 	// admits any byte below the newest constant whether or not the
@@ -116,7 +171,7 @@ func Unmarshal(data []byte) (*Msg, error) {
 	// stringified as INVALID. Every unregistered byte — zero, gaps,
 	// and everything above the last kind — must fail the same way.
 	if !m.Kind.Registered() {
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
+		return fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
 	}
 	m.TID.Family = tid.FamilyID(d.u64())
 	m.TID.Seq = tid.Seq(d.u64())
@@ -128,7 +183,7 @@ func Unmarshal(data []byte) (*Msg, error) {
 	m.Flags = d.u8()
 	nSites := int(d.u16())
 	if nSites > maxSlice {
-		return nil, ErrShort
+		return ErrShort
 	}
 	for i := 0; i < nSites; i++ {
 		m.Sites = append(m.Sites, tid.SiteID(d.u32()))
@@ -140,7 +195,7 @@ func Unmarshal(data []byte) (*Msg, error) {
 	m.State = NBState(d.u8())
 	nVotes := int(d.u16())
 	if nVotes > maxSlice {
-		return nil, ErrShort
+		return ErrShort
 	}
 	for i := 0; i < nVotes; i++ {
 		sv := SiteVote{Site: tid.SiteID(d.u32()), Vote: Vote(d.u8())}
@@ -148,7 +203,7 @@ func Unmarshal(data []byte) (*Msg, error) {
 	}
 	nAcks := int(d.u16())
 	if nAcks > maxSlice {
-		return nil, ErrShort
+		return ErrShort
 	}
 	for i := 0; i < nAcks; i++ {
 		t := tid.TID{Family: tid.FamilyID(d.u64()), Seq: tid.Seq(d.u64())}
@@ -157,26 +212,26 @@ func Unmarshal(data []byte) (*Msg, error) {
 	m.Ballot = d.u64()
 	nAcceptors := int(d.u16())
 	if nAcceptors > maxSlice {
-		return nil, ErrShort
+		return ErrShort
 	}
 	for i := 0; i < nAcceptors; i++ {
 		m.Acceptors = append(m.Acceptors, tid.SiteID(d.u32()))
 	}
 	nAccepted := int(d.u16())
 	if nAccepted > maxSlice {
-		return nil, ErrShort
+		return ErrShort
 	}
 	for i := 0; i < nAccepted; i++ {
 		a := PaxosAccepted{Site: tid.SiteID(d.u32()), Ballot: d.u64(), Vote: Vote(d.u8())}
 		m.Accepted = append(m.Accepted, a)
 	}
 	if d.err != nil {
-		return nil, d.err
+		return d.err
 	}
 	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf))
 	}
-	return m, nil
+	return nil
 }
 
 func be16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
